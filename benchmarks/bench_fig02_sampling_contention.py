@@ -1,0 +1,23 @@
+"""Figure 2: sampling time under memory contention ('-only' vs '-all')."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_fig2
+
+
+def test_fig2_sampling_contention(benchmark, profile):
+    result = run_once(benchmark, lambda: run_fig2(profile,
+                                                  dims=(64, 128, 512)))
+    print()
+    print(result.render())
+
+    d = result.data
+    # PyG+ suffers: -all sampling far above -only (paper: 5.4x at 128).
+    assert d[("pyg+", "-all", 128)] > 2.0 * d[("pyg+", "-only", 128)]
+    # Higher dims worsen PyG+ contention (paper: 3.1x from 64 to 512).
+    assert d[("pyg+", "-all", 512)] > 1.5 * d[("pyg+", "-all", 64)]
+    # Ginex's separate caches keep -only ~ -all.
+    assert d[("ginex", "-all", 128)] < 1.5 * d[("ginex", "-only", 128)]
+    # GNNDrive sampling nearly flat across dims.
+    assert d[("gnndrive-gpu", "-all", 512)] < \
+        2.0 * d[("gnndrive-gpu", "-all", 64)]

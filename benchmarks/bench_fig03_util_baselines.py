@@ -1,0 +1,24 @@
+"""Figure 3: CPU/GPU utilization and I/O wait for the baselines."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.experiments import run_fig3
+
+
+def test_fig3_baseline_utilization(benchmark, profile):
+    result = run_once(benchmark, lambda: run_fig3(profile))
+    print()
+    print(result.render())
+
+    for system in ("pyg+", "ginex"):
+        snap = result.data[system]
+        assert snap["status"] == "ok"
+        io = np.array(snap["iowait"])
+        # Substantial iowait windows exist (the paper's congestion).
+        assert io.max() > 0.05
+    marius = result.data["mariusgnn"]
+    if marius["status"] == "ok":
+        # MariusGNN: "intense I/O wait time for data preparation" vs
+        # minimal I/O during the training remainder of the epoch.
+        assert marius["io_prep"] > marius["io_train"]

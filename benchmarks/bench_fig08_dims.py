@@ -1,0 +1,41 @@
+"""Figure 8: epoch time vs feature dimension, all models/systems."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_fig8
+
+
+def test_fig8_feature_dims(benchmark, profile):
+    result = run_once(benchmark, lambda: run_fig8(profile,
+                                                  dims=(64, 128, 512)))
+    print()
+    print(result.render())
+
+    d = result.data
+
+    def cell(model, dataset, system, dim):
+        return d.get((model, dataset, system, dim))
+
+    ds0 = "papers100m-mini"
+    # Headline: GNNDrive-GPU beats PyG+ and Ginex at dim 128 (paper:
+    # 16.9x and 2.6x for sage/gcn; 11.2x and 2.0x for gat).
+    for model in ("sage", "gcn", "gat"):
+        g = cell(model, ds0, "gnndrive-gpu", 128)
+        p = cell(model, ds0, "pyg+", 128)
+        x = cell(model, ds0, "ginex", 128)
+        assert isinstance(g, float)
+        if isinstance(p, float):
+            assert p > 3.0 * g, f"PyG+ should lose big on {model}"
+        if isinstance(x, float):
+            assert x > 1.2 * g, f"Ginex should lose on {model}"
+    # Runtime grows with dim for every system; PyG+ most sensitive.
+    g_growth = cell("sage", ds0, "gnndrive-gpu", 512) / \
+        cell("sage", ds0, "gnndrive-gpu", 64)
+    p_growth = cell("sage", ds0, "pyg+", 512) / cell("sage", ds0, "pyg+", 64)
+    assert p_growth > g_growth
+    # GPU variant beats CPU variant, most dramatically for GAT.
+    cpu_gap_sage = cell("sage", ds0, "gnndrive-cpu", 128) / \
+        cell("sage", ds0, "gnndrive-gpu", 128)
+    cpu_gap_gat = cell("gat", ds0, "gnndrive-cpu", 128) / \
+        cell("gat", ds0, "gnndrive-gpu", 128)
+    assert cpu_gap_gat > cpu_gap_sage > 1.0

@@ -1,0 +1,22 @@
+"""Figure 10: epoch time vs mini-batch size."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_fig10
+
+
+def test_fig10_batch_sweep(benchmark, profile):
+    result = run_once(benchmark, lambda: run_fig10(profile))
+    print()
+    print(result.render())
+
+    d = result.data
+    # Larger batches generally shorten GNNDrive's epochs (fewer, fatter
+    # batches amortise per-batch costs).
+    g_small = d[("papers100m-mini", "sage", "gnndrive-gpu", 50)]
+    g_large = d[("papers100m-mini", "sage", "gnndrive-gpu", 400)]
+    if isinstance(g_small, float) and isinstance(g_large, float):
+        assert g_large < 1.5 * g_small
+    # GNNDrive handles the largest batch on friendster+GAT (the paper's
+    # PyG+ OOM point) without failing.
+    assert d[("friendster-mini", "gat", "gnndrive-gpu", 400)] != "OOM"

@@ -1,0 +1,32 @@
+"""Figure 11: CPU/GPU utilization and I/O wait for GNNDrive."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.experiments import run_fig3, run_fig11
+
+
+def test_fig11_gnndrive_utilization(benchmark, profile):
+    result = run_once(benchmark, lambda: run_fig11(profile))
+    print()
+    print(result.render())
+
+    gpu_snap = result.data["gnndrive-gpu"]
+    assert gpu_snap["status"] == "ok"
+    io = np.array(gpu_snap["iowait"])
+    # Asynchronous extraction keeps iowait low throughout (paper:
+    # "GNNDrive largely reduces I/O wait time with asynchronous I/Os").
+    assert io.mean() < 0.25
+    # The GPU actually trains during the window.
+    assert np.array(gpu_snap["gpu"]).max() > 0
+
+
+def test_fig11_vs_fig3_iowait_gap(benchmark, profile):
+    """GNNDrive's iowait is below PyG+'s (the Fig. 3 vs Fig. 11 story)."""
+    def both():
+        return run_fig11(profile), run_fig3(profile)
+
+    r11, r3 = run_once(benchmark, both)
+    g = np.array(r11.data["gnndrive-gpu"]["iowait"])
+    p = np.array(r3.data["pyg+"]["iowait"])
+    assert g.mean() < p.mean()

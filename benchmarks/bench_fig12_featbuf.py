@@ -1,0 +1,23 @@
+"""Figure 12: epoch time vs feature-buffer size (1x-8x)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_fig12
+
+
+def test_fig12_feature_buffer_sweep(benchmark, profile):
+    result = run_once(benchmark, lambda: run_fig12(profile))
+    print()
+    print(result.render())
+
+    d = result.data
+    for system in ("gnndrive-gpu", "gnndrive-cpu"):
+        t1 = d[(system, 1)]
+        t2 = d[(system, 2)]
+        t8 = d[(system, 8)]
+        if not all(isinstance(t, float) for t in (t1, t2, t8)):
+            continue
+        # 2x buffer helps via inter-batch locality (paper: 1.4x / 1.2x).
+        assert t2 <= t1 * 1.05
+        # Returns diminish: 8x is not much better than 2x.
+        assert t8 > 0.5 * t2

@@ -1,0 +1,24 @@
+"""Figure 13: multi-GPU scalability on the 8x K80 machine."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_fig13
+
+
+def test_fig13_multigpu_scalability(benchmark, profile):
+    result = run_once(benchmark,
+                      lambda: run_fig13(profile, workers=(1, 2, 4, 6)))
+    print()
+    print(result.render())
+
+    d = result.data
+    g1 = d[("gnndrive-gpu", 1)]
+    g2 = d[("gnndrive-gpu", 2)]
+    if isinstance(g1, float) and isinstance(g2, float):
+        speedup2 = g1 / g2
+        # Paper: 1.7x at 2 subprocesses (sub-linear due to IPC + sync).
+        assert 1.1 < speedup2 <= 2.05
+    g4, g6 = d.get(("gnndrive-gpu", 4)), d.get(("gnndrive-gpu", 6))
+    if all(isinstance(x, float) for x in (g2, g4, g6)):
+        # Gains saturate: 6 workers is not 3x better than 2.
+        assert g6 > g2 / 3.0

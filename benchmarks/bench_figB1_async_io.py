@@ -1,0 +1,30 @@
+"""Figure B.1: sync multi-thread vs async single-thread I/O."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_figB1
+
+
+def test_figB1_async_io(benchmark, profile):
+    result = run_once(benchmark, lambda: run_figB1(profile))
+    print()
+    print(result.render())
+
+    sync = result.data["sync"]
+    asyn = result.data["async"]
+    # Bandwidth rises with threads / depth, then saturates.
+    assert sync[8].bandwidth > 3.0 * sync[1].bandwidth
+    assert asyn[8].bandwidth > 3.0 * asyn[1].bandwidth
+    assert sync[64].bandwidth < 1.2 * sync[16].bandwidth
+    # The Appendix-B headline: async single-thread ~ sync multi-thread.
+    assert abs(asyn[64].bandwidth - sync[64].bandwidth) \
+        < 0.2 * sync[64].bandwidth
+    # Latency grows with queueing (threads or depth).
+    assert sync[64].mean_latency > 2.0 * sync[1].mean_latency
+    assert asyn[64].mean_latency > 2.0 * asyn[1].mean_latency
+    # Buffered (4 KiB page) reads move more bytes per request but do
+    # not beat direct reads at high concurrency (paper: the difference
+    # narrows, so direct I/O is viable).
+    direct_hi = asyn[32].bandwidth
+    buffered_hi = result.data["async_buffered_32"].bandwidth
+    assert buffered_hi < 10 * direct_hi

@@ -1,0 +1,26 @@
+"""Table 1: dataset summary (reproduced, with paper scale alongside)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_tab1
+
+
+def test_tab1_dataset_summary(benchmark, profile):
+    result = run_once(benchmark, lambda: run_tab1(profile))
+    print()
+    print(result.render())
+
+    d = result.data
+    # Feature dims and class counts match the paper exactly.
+    assert d["papers100m-mini"]["dim"] == 128
+    assert d["mag240m-mini"]["dim"] == 768
+    assert d["papers100m-mini"]["classes"] == 172
+    # MAG240M's feature table dominates its footprint (349/359 GB in
+    # the paper).
+    mag = d["mag240m-mini"]
+    assert mag["feat_mb"] / mag["total_mb"] > 0.9
+    # Topology:feature ratios roughly track the paper's Table 1.
+    papers = d["papers100m-mini"]
+    paper_ratio = 13 / 53
+    ours = papers["topo_mb"] / papers["feat_mb"]
+    assert 0.4 * paper_ratio < ours < 2.5 * paper_ratio

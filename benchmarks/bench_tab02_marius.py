@@ -1,0 +1,30 @@
+"""Table 2: MariusGNN vs GNNDrive (data prep / training / overall)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_tab2
+
+
+def test_tab2_marius_comparison(benchmark, profile):
+    result = run_once(benchmark, lambda: run_tab2(profile))
+    print()
+    print(result.render())
+
+    d = result.data
+    prep, train, overall = d[("MariusGNN-32G", "papers100m-mini")]
+    g_prep, g_train, g_overall = d[("GNNDrive-GPU", "papers100m-mini")]
+    assert isinstance(overall, float) and isinstance(g_overall, float)
+    # GNNDrive has no data preparation; Marius pays it every epoch.
+    assert g_prep == 0.0
+    assert prep > 0.0
+    # Paper: Marius overall 643s vs GNNDrive 241s (2.7x); training-only
+    # 347s (1.4x).  Shape: Marius loses on both, prep is a big chunk.
+    assert overall > 1.3 * g_overall
+    assert prep / overall > 0.15
+    # MariusGNN OOMs on mag240m at 32G AND 128G (paper's key result).
+    assert d[("MariusGNN-32G", "mag240m-mini")][0] == "OOM"
+    assert d[("MariusGNN-128G", "mag240m-mini")][0] == "OOM"
+    # With 128G, papers100m data prep gets cheaper (paper: 296 -> 115s).
+    prep128 = d[("MariusGNN-128G", "papers100m-mini")][0]
+    if isinstance(prep128, float):
+        assert prep128 <= prep * 1.1

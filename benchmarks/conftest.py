@@ -1,0 +1,21 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Profile selection: set ``REPRO_BENCH_PROFILE=full`` to run the mini
+datasets at registry scale (slower, closer to the paper's ratios); the
+default quick profile runs quarter-scale minis with memory budgets
+scaled in lockstep, preserving every capacity ratio.
+"""
+
+import pytest
+
+from repro.bench.runner import active_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

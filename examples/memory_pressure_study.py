@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Memory-pressure study: why mmap-based training collapses (Figs. 2/9).
+
+The scenario from the paper's introduction: an academic lab trains on a
+large citation graph with an ordinary machine.  This script sweeps the
+host-memory budget and shows, for PyG+ and GNNDrive:
+
+* epoch time,
+* sampling time (the 𝔒1 contention victim),
+* OS page-cache hit rate for the topology index.
+
+The crossover is the story: with abundant memory PyG+ rides the page
+cache and is competitive; under pressure its feature faults evict the
+topology and sampling collapses, while GNNDrive's strict extract-stage
+footprint keeps the topology cached at every budget.
+
+Run:  python examples/memory_pressure_study.py
+"""
+
+from repro.bench.report import format_table
+from repro.bench.runner import get_dataset, run_system
+from repro.core.base import TrainConfig
+
+
+def main():
+    scale = 0.25
+    ds = get_dataset("papers100m-mini", scale=scale)
+    bs = max(10, int(round(50 * scale)))
+    cfg = TrainConfig(model_kind="sage", batch_size=bs)
+
+    rows = []
+    for host_gb in (8, 16, 32, 64, 128):
+        for system in ("pyg+", "gnndrive-gpu"):
+            r = run_system(system, ds, cfg, host_gb=host_gb, epochs=2,
+                           warmup_epochs=1, data_scale=scale,
+                           keep_machine=True)
+            if r.ok:
+                last = r.stats[-1]
+                total = last.cache_hits + last.cache_misses
+                hit_rate = last.cache_hits / total if total else 1.0
+                rows.append([f"{host_gb} GB", system, last.epoch_time,
+                             last.stages.sample, f"{hit_rate:.0%}"])
+            else:
+                rows.append([f"{host_gb} GB", system, r.status, "-", "-"])
+    print(format_table(
+        ["host memory", "system", "epoch (s)", "sample busy (s)",
+         "page-cache hit rate"],
+        rows,
+        "papers100m-mini under memory pressure (paper Figs. 2 and 9)"))
+    print("\nReading: PyG+'s sampling time explodes as memory shrinks "
+          "(feature faults evict topology pages); GNNDrive stays flat "
+          "because extraction bypasses the page cache entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Data-parallel scaling study (the Fig. 13 scenario).
+
+Reproduces the paper's multi-GPU experiment: GNNDrive with 1..N
+subprocesses on the economical 8x Tesla K80 machine (old GPUs, old
+SSD), training GraphSAGE on mag240m-mini.  On that hardware training
+compute — not I/O — is the bottleneck, so data parallelism pays off
+until gradient synchronisation takes over.
+
+Run:  python examples/multi_gpu_scaling.py [--workers 1 2 4 6]
+"""
+
+import argparse
+
+from repro.bench.report import format_table
+from repro.bench.runner import get_dataset, run_system
+from repro.core.base import TrainConfig
+from repro.machine import MachineSpec
+from repro.models.costmodel import GPU_K80
+from repro.storage.spec import S3510
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 6])
+    ap.add_argument("--scale", type=float, default=0.25)
+    args = ap.parse_args()
+
+    spec = MachineSpec.paper_scaled(
+        host_gb=256, scale=1e-3 * args.scale, num_gpus=8,
+        ssd=S3510, gpu_profile=GPU_K80, pcie_bandwidth=6e9)
+    ds = get_dataset("mag240m-mini", scale=args.scale)
+    bs = max(10, int(round(50 * args.scale)))
+    cfg = TrainConfig(model_kind="sage", batch_size=bs)
+
+    rows = []
+    base = None
+    for w in args.workers:
+        print(f"running {w} subprocess(es) ...")
+        r = run_system("gnndrive-gpu", ds, cfg, epochs=2, warmup_epochs=1,
+                       num_workers=w, machine_spec=spec)
+        if r.ok:
+            if base is None:
+                base = r.epoch_time
+            rows.append([w, r.epoch_time, f"{base / r.epoch_time:.2f}x"])
+        else:
+            rows.append([w, r.status, "-"])
+    print()
+    print(format_table(
+        ["subprocesses", "epoch (s)", "speedup vs 1"],
+        rows,
+        "mag240m-mini on the 8x K80 machine — paper reports 1.7x at 2 "
+        "subprocesses, saturating by ~6 (gradient-sync overhead)"))
+
+
+if __name__ == "__main__":
+    main()

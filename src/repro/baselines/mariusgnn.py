@@ -1,0 +1,288 @@
+"""MariusGNN baseline (Waleffe et al., EuroSys 2023) on the simulated machine.
+
+MariusGNN partitions the graph and keeps a *partition buffer* in host
+memory, training only on edge buckets whose two partitions co-reside —
+nearly eliminating I/O inside an epoch.  The price the paper measures
+(Table 2, Fig. 3c):
+
+* a mandatory **data-preparation** phase on the critical path of every
+  epoch: order the sequence of buffer states (the COMET policy) and
+  preload the initial buffer — up to 46% of epoch time at 32 GB;
+* partition swaps between sub-epochs (sequential reads);
+* sampling restricted to buffered partitions (an accuracy risk the
+  authors acknowledge; we implement it faithfully);
+* OOM on large-feature graphs (MAG240M) because data preparation
+  materialises feature-reorder scratch proportional to the full feature
+  table — even 128 GB hosts fail (bottom row of Table 2).
+
+One GPU, by its design (§4.3: "MariusGNN employs one GPU for training").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.core.base import TrainConfig, TrainingSystem, activation_bytes
+from repro.core.stats import EpochStats, StageBreakdown
+from repro.errors import OutOfMemoryError
+from repro.graph.datasets import DiskDataset
+from repro.graph.partition import buffer_order, partition_nodes
+from repro.machine import Machine
+from repro.models.train import train_step
+from repro.sampling import NeighborSampler
+from repro.sampling.subgraph import SampledSubgraph
+
+#: Data preparation materialises reordering scratch proportional to the
+#: feature table (Marius permutes node data into partition order).
+PREP_SCRATCH_FACTOR = 0.30
+#: CPU cost per partition pair when ordering the buffer sequence.
+ORDER_COST_PER_PAIR = 2e-6
+
+
+@dataclass(frozen=True)
+class MariusConfig:
+    """MariusGNN knobs."""
+
+    num_partitions: int = 32
+    #: Buffered partitions; None -> as many as host memory allows.
+    buffer_partitions: Optional[int] = None
+    io_threads: int = 32
+
+    def __post_init__(self):
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.buffer_partitions is not None and self.buffer_partitions < 2:
+            raise ValueError("buffer must hold >= 2 partitions")
+
+
+class MariusGNN(TrainingSystem):
+    """The partition-buffer baseline."""
+
+    name = "mariusgnn"
+
+    def __init__(self, machine: Machine, dataset: DiskDataset,
+                 train_cfg: TrainConfig = TrainConfig(),
+                 config: MariusConfig = MariusConfig()):
+        super().__init__(machine, dataset, train_cfg)
+        self.config = config
+        host = machine.host
+        P = config.num_partitions
+
+        # Partition geometry.
+        self.part = partition_nodes(dataset.num_nodes, P)
+        nodes_per_part = int(np.ceil(dataset.num_nodes / P))
+        rec = dataset.features.record_nbytes
+        #: One partition's resident bytes: features + its topology slice.
+        self.partition_bytes = int(
+            nodes_per_part * rec + dataset.topo_nbytes() / P)
+
+        # Data-prep scratch (feature reordering workspace) coexists with
+        # the partition buffer because preparation recurs every epoch —
+        # this is where MAG240M dies even with 128 GB (Table 2 bottom
+        # row): the scratch scales with the *full* feature table, so no
+        # partition count saves it.
+        self.prep_scratch = int(dataset.feat_nbytes() * PREP_SCRATCH_FACTOR)
+
+        if config.buffer_partitions is not None:
+            B = config.buffer_partitions
+        else:
+            budget = host.available - self.prep_scratch
+            B = int(budget // self.partition_bytes)
+            B = min(B, P)
+        if B < 2:
+            raise OutOfMemoryError(
+                2 * self.partition_bytes + self.prep_scratch,
+                host.available, where="marius-partition-buffer")
+        self.buffer_partitions = B
+        self._buffer_alloc = host.allocate(B * self.partition_bytes,
+                                           tag="partition-buffer")
+        try:
+            self._scratch_alloc = host.allocate(self.prep_scratch,
+                                                tag="marius-prep-scratch")
+        except OutOfMemoryError:
+            host.free(self._buffer_alloc)
+            raise
+        machine.gpus[0].allocate(self.model_state_bytes(), tag="model")
+
+        self.sampler = NeighborSampler(dataset.graph, self.fanouts,
+                                       self.streams.get("marius-sampler"))
+        self.states = buffer_order(P, B)
+        #: Training seeds grouped by partition.
+        self._seeds_by_part = [
+            dataset.train_idx[self.part[dataset.train_idx] == p]
+            for p in range(P)
+        ]
+
+    # ------------------------------------------------------------------
+    def _restrict_to_buffer(self, sub: SampledSubgraph,
+                            resident: np.ndarray) -> SampledSubgraph:
+        """Faithful accuracy-risk model: sampling sees only buffered
+        partitions, so edges from non-resident sources are dropped."""
+        keep_node = resident[self.part[sub.all_nodes]]
+        new_layers = []
+        for layer in sub.layers:
+            src_global = sub.all_nodes[layer.src_pos]
+            ok = resident[self.part[src_global]]
+            from repro.sampling.subgraph import LayerAdj
+            new_layers.append(LayerAdj(layer.src_pos[ok], layer.dst_pos[ok],
+                                       layer.num_src, layer.num_dst))
+        return SampledSubgraph(sub.seeds, sub.all_nodes, new_layers,
+                               sub.hop_frontiers)
+
+    # ------------------------------------------------------------------
+    def _data_preparation(self) -> Generator:
+        """Order the partition sequence and preload the initial buffer."""
+        m = self.machine
+        P = self.config.num_partitions
+        # Ordering (COMET) over all partition pairs.
+        yield from m.cpu_task(P * P * ORDER_COST_PER_PAIR)
+        # Reorder pass over the feature table (read + write through the
+        # prep scratch) plus the initial buffer preload — the long I/O
+        # burst of Fig. 3c's epoch starts.  Only the *non-resident*
+        # share of the table needs the on-disk reorder pass, which is
+        # why bigger hosts prepare faster (Table 2: 296 s -> 115 s).
+        nonresident = 1.0 - self.buffer_partitions / P
+        prep_io = int(3 * self.dataset.feat_nbytes() * nonresident
+                      + self.buffer_partitions * self.partition_bytes)
+        chunk = 1 << 16
+        nchunks = max(1, prep_io // chunk)
+        ev = m.ssd.batch_event(np.full(nchunks, chunk, dtype=np.int64),
+                               io_depth=self.config.io_threads)
+        yield from m.io_wait(ev)
+
+    def _swap_partitions(self, prev: List[int], cur: List[int]) -> Generator:
+        m = self.machine
+        incoming = set(cur) - set(prev)
+        if not incoming:
+            return
+        total = len(incoming) * self.partition_bytes
+        chunk = 1 << 16
+        nchunks = max(1, total // chunk)
+        ev = m.ssd.batch_event(np.full(nchunks, chunk, dtype=np.int64),
+                               io_depth=self.config.io_threads)
+        yield from m.io_wait(ev)
+
+    def _train_state(self, state: List[int], epoch: int) -> Generator:
+        """Train mini-batches of every not-yet-trained partition in the
+        buffer (each seed partition is trained once per epoch, when it
+        first enters the buffer)."""
+        m = self.machine
+        resident = np.zeros(self.config.num_partitions, dtype=bool)
+        resident[list(state)] = True
+        pools = [self._trainable_seeds[p] for p in state
+                 if len(self._trainable_seeds[p])]
+        if not pools:
+            return
+        for p in state:
+            self._trainable_seeds[p] = np.empty(0, dtype=np.int64)
+        seeds_pool = np.concatenate(pools)
+        bs = self.train_cfg.batch_size
+        for s in range(0, len(seeds_pool), bs):
+            seeds = seeds_pool[s:s + bs]
+            t0 = m.sim.now
+            sub = self.sampler.sample(seeds)
+            sub = self._restrict_to_buffer(sub, resident)
+            # In-memory sampling: CPU cost only, no page faults.
+            yield from m.cpu_task(m.cpu_cost.sample_compute_time(
+                sum(len(f) for f in sub.hop_frontiers), sub.total_edges()))
+            self._stage.sample += m.sim.now - t0
+
+            # Extraction is a memcpy from the in-memory buffer.  Sampled
+            # nodes in non-resident partitions get NO features — Marius
+            # trains only with buffered data (the accuracy risk §2 notes);
+            # their edges were already dropped above.
+            nonresident_mask = ~resident[self.part[sub.all_nodes]]
+
+            t0 = m.sim.now
+            gpu = m.gpus[0]
+            feat_bytes = int(sub.num_sampled_nodes
+                             * self.dataset.features.record_nbytes)
+            act = activation_bytes(sub, self.dims)
+            gpu.allocate(feat_bytes + act, tag="batch")
+            try:
+                yield m.pcie[0].copy_async(feat_bytes)
+                duration = m.gpu_cost.train_step_time(
+                    self.model_kind, sub.layer_sizes(), self.dims)
+                yield from m.gpu_task(0, duration)
+            finally:
+                gpu.free(feat_bytes + act, tag="batch")
+            feats = self.dataset.features.gather(sub.all_nodes)
+            feats[nonresident_mask] = 0.0  # not in the buffer: no data
+            loss, correct = train_step(self.model, self.optimizer, feats,
+                                       sub, self.dataset.labels)
+            self._epoch_loss_sum += loss
+            self._epoch_correct += correct
+            self._epoch_seen += len(sub.seeds)
+            self._num_batches += 1
+            self._stage.train += m.sim.now - t0
+
+    def _epoch_proc(self, epoch: int, done_event) -> Generator:
+        m = self.machine
+        t0 = m.sim.now
+        yield from self._data_preparation()
+        self._stage.data_prep += m.sim.now - t0
+        self._prep_time = self._stage.data_prep
+
+        # Fresh per-epoch trainable pools (each partition trained once).
+        self._trainable_seeds = [s.copy() for s in self._seeds_by_part]
+        prev_state: List[int] = []
+        for state in self.states:
+            if prev_state:
+                t0 = m.sim.now
+                yield from self._swap_partitions(prev_state, state)
+                self._stage.extract += m.sim.now - t0
+            # else: the initial buffer was loaded during data preparation.
+            yield from self._train_state(list(state), epoch)
+            prev_state = list(state)
+        done_event.succeed(m.sim.now)
+
+    # ------------------------------------------------------------------
+    def run_epochs(self, num_epochs: int,
+                   target_accuracy: Optional[float] = None,
+                   time_budget: Optional[float] = None,
+                   eval_every: int = 0) -> List[EpochStats]:
+        m = self.machine
+        sim = m.sim
+        for epoch in range(len(self.epoch_stats),
+                           len(self.epoch_stats) + num_epochs):
+            self._stage = StageBreakdown()
+            self._epoch_loss_sum = 0.0
+            self._epoch_correct = 0
+            self._epoch_seen = 0
+            self._num_batches = 0
+            t_start = sim.now
+            bytes0 = m.ssd.bytes_read
+            done = sim.event()
+            proc = sim.process(self._epoch_proc(epoch, done), name="marius")
+            while not done.triggered:
+                sim.step()
+                self.check_time_budget(time_budget)
+                if not proc.is_alive and not proc.ok:
+                    raise proc._value
+
+            stats = EpochStats(
+                epoch=epoch,
+                epoch_time=sim.now - t_start,
+                stages=self._stage,
+                loss=self._epoch_loss_sum / max(1, self._num_batches),
+                train_acc=self._epoch_correct / max(1, self._epoch_seen),
+                num_batches=self._num_batches,
+                bytes_read=m.ssd.bytes_read - bytes0,
+            )
+            stats.extra["data_prep_time"] = self._stage.data_prep
+            stats.extra["training_time"] = (stats.epoch_time
+                                            - self._stage.data_prep)
+            if eval_every and (epoch + 1) % eval_every == 0:
+                stats.val_acc = self.evaluate()
+            self.epoch_stats.append(stats)
+            if (target_accuracy is not None
+                    and not np.isnan(stats.val_acc)
+                    and stats.val_acc >= target_accuracy):
+                break
+        return self.epoch_stats
+
+    def shutdown(self) -> None:
+        pass

@@ -1,0 +1,26 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+``repro.bench.experiments`` has one entry point per artifact (fig2,
+fig3, tab1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, tab2,
+figB1); ``benchmarks/`` wraps them in pytest-benchmark targets.  Each
+experiment returns a structured result and can print the same
+rows/series the paper reports, with paper-reported reference numbers
+alongside where the paper states them.
+"""
+
+from repro.bench.report import format_table, format_series, fmt_value
+from repro.bench.runner import (
+    BenchProfile,
+    QUICK,
+    FULL,
+    get_dataset,
+    build_system,
+    run_system,
+    SystemResult,
+)
+
+__all__ = [
+    "format_table", "format_series", "fmt_value",
+    "BenchProfile", "QUICK", "FULL",
+    "get_dataset", "build_system", "run_system", "SystemResult",
+]

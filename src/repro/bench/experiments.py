@@ -1,0 +1,513 @@
+"""One entry point per paper artifact (figures 2-14, tables 1-2, B.1).
+
+Each ``run_*`` function executes the experiment at the given
+:class:`BenchProfile` and returns an :class:`ExperimentResult` whose
+``render()`` prints the same rows/series the paper reports.  Paper
+reference values (where the text states them) ride along in ``notes``
+so paper-vs-measured parity lands in EXPERIMENTS.md mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.fio import run_async, run_sync
+from repro.bench.report import format_series, format_table
+from repro.bench.runner import (
+    QUICK,
+    BenchProfile,
+    get_dataset,
+    run_system,
+)
+from repro.core.base import TrainConfig
+from repro.graph.datasets import PAPER_TABLE1
+from repro.machine import MachineSpec
+from repro.models.costmodel import GPU_K80
+from repro.storage.spec import S3510
+
+ALL_DATASETS = ("papers100m-mini", "twitter-mini", "friendster-mini",
+                "mag240m-mini")
+ALL_MODELS = ("sage", "gcn", "gat")
+MAIN_SYSTEMS = ("gnndrive-gpu", "gnndrive-cpu", "pyg+", "ginex")
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered experiment output plus raw data for assertions."""
+
+    name: str
+    title: str
+    tables: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"=== {self.name}: {self.title} ==="]
+        parts.extend(self.tables)
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(parts)
+
+
+def _train_cfg(profile: BenchProfile, model: str = "sage",
+               batch_size: int = 50, seed: int = 0) -> TrainConfig:
+    """Batch size scales with the dataset so per-batch footprint keeps
+    the paper's ratio to host memory at every profile."""
+    bs = max(10, int(round(batch_size * profile.dataset_scale)))
+    return TrainConfig(model_kind=model, batch_size=bs, seed=seed)
+
+
+def _run(system, ds, profile: BenchProfile, train_cfg=None, **kw):
+    """run_system with the profile's machine scaling applied."""
+    kw.setdefault("epochs", profile.epochs)
+    kw.setdefault("warmup_epochs", profile.warmup_epochs)
+    return run_system(system, ds, train_cfg or _train_cfg(profile),
+                      data_scale=profile.dataset_scale, **kw)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — sampling time vs feature dim, '-only' vs '-all'
+# ----------------------------------------------------------------------
+def run_fig2(profile: BenchProfile = QUICK,
+             dims: Sequence[int] = (64, 128, 256, 512)) -> ExperimentResult:
+    systems = ("pyg+", "ginex", "gnndrive-gpu")
+    rows = []
+    data: Dict = {}
+    for system in systems:
+        for mode, sample_only in (("-only", True), ("-all", False)):
+            cells = []
+            for dim in dims:
+                ds = get_dataset("papers100m-mini", dim=dim,
+                                 scale=profile.dataset_scale)
+                res = _run(system, ds, profile, sample_only=sample_only)
+                value = (np.mean([s.stages.sample for s in
+                                  res.stats[profile.warmup_epochs:]])
+                         if res.ok else res.status)
+                cells.append(value)
+                data[(system, mode, dim)] = value
+            rows.append([system + mode] + cells)
+    table = format_table(["system"] + [f"dim={d}" for d in dims], rows,
+                         "Sampling time per epoch (s), papers100m-mini, GraphSAGE")
+    notes = [
+        "paper: PyG+-all is 5.4x PyG+-only at dim 128; Ginex-only ~ Ginex-all",
+        "paper: PyG+-all at dim 512 is 3.1x PyG+-all at dim 64",
+        "paper: GNNDrive sampling nearly flat across dims",
+    ]
+    po, pa = data.get(("pyg+", "-only", 128)), data.get(("pyg+", "-all", 128))
+    if isinstance(po, float) and isinstance(pa, float) and po > 0:
+        notes.append(f"measured: PyG+-all / PyG+-only at 128 = {pa / po:.1f}x")
+    return ExperimentResult("fig2", "Memory contention in the sample stage",
+                            [table], notes, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 / Figure 11 — utilization + iowait traces
+# ----------------------------------------------------------------------
+def _utilization_trace(system: str, profile: BenchProfile,
+                       buckets: int = 18) -> Dict:
+    ds = get_dataset("papers100m-mini", scale=profile.dataset_scale)
+    res = _run(system, ds, profile, epochs=3, warmup_epochs=0,
+               keep_machine=True)
+    if not res.ok:
+        return {"status": res.status}
+    m = res.machine
+    snap = m.utilization_snapshot(0.0, m.sim.now, buckets)
+    snap["status"] = "ok"
+    snap["epoch_times"] = [s.epoch_time for s in res.stats]
+    # Phase-resolved iowait for systems with a data-preparation phase
+    # (MariusGNN): Fig. 3c's "intense I/O wait for data preparation".
+    prep = res.stats[0].stages.data_prep
+    if prep > 0:
+        snap["io_prep"] = m.probe.io.utilization(0.0, prep)
+        snap["io_train"] = m.probe.io.utilization(prep,
+                                                  res.stats[0].epoch_time)
+    return snap
+
+
+def _render_trace(system: str, snap: Dict) -> str:
+    if snap.get("status") != "ok":
+        return f"{system}: {snap.get('status')}"
+    rows = [
+        [f"t{i}", snap["cpu"][i], snap["gpu"][i], snap["iowait"][i]]
+        for i in range(len(snap["cpu"]))
+    ]
+    return format_table(["window", "cpu", "gpu", "iowait"], rows,
+                        f"{system}: utilization over 3 epochs")
+
+
+def run_fig3(profile: BenchProfile = QUICK) -> ExperimentResult:
+    systems = ("pyg+", "ginex", "mariusgnn")
+    data = {s: _utilization_trace(s, profile) for s in systems}
+    tables = [_render_trace(s, data[s]) for s in systems]
+    notes = [
+        "paper: PyG+/Ginex: high iowait windows coincide with low CPU/GPU util",
+        "paper: MariusGNN: iowait spike during data preparation, low after",
+    ]
+    return ExperimentResult("fig3", "CPU/GPU utilization and I/O wait "
+                            "(baselines)", tables, notes, data)
+
+
+def run_fig11(profile: BenchProfile = QUICK) -> ExperimentResult:
+    systems = ("gnndrive-gpu", "gnndrive-cpu")
+    data = {s: _utilization_trace(s, profile) for s in systems}
+    tables = [_render_trace(s, data[s]) for s in systems]
+    notes = ["paper: GNNDrive shows far lower iowait than Fig. 3's baselines "
+             "thanks to asynchronous extraction"]
+    return ExperimentResult("fig11", "CPU/GPU utilization and I/O wait "
+                            "(GNNDrive)", tables, notes, data)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — dataset summary
+# ----------------------------------------------------------------------
+def run_tab1(profile: BenchProfile = QUICK) -> ExperimentResult:
+    rows = []
+    data = {}
+    for name in ALL_DATASETS:
+        ds = get_dataset(name, scale=profile.dataset_scale)
+        row = ds.summary_row()
+        paper = PAPER_TABLE1[ds.spec.paper_name]
+        rows.append([
+            row["dataset"], row["nodes"], row["edges"], row["dim"],
+            row["classes"], row["topo_mb"], row["feat_mb"], row["total_mb"],
+            f"{paper['nodes']}/{paper['edges']}",
+            f"{paper['topo_gb']}/{paper['feat_gb']}/{paper['total_gb']} GB",
+        ])
+        data[name] = row
+    table = format_table(
+        ["dataset", "#node", "#edge", "dim", "#class",
+         "topo MB", "feat MB", "total MB", "paper nodes/edges",
+         "paper topo/feat/total"],
+        rows, "Reproduced Table 1 (mini datasets vs paper scale)")
+    return ExperimentResult("tab1", "Dataset summary", [table], [], data)
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — epoch time vs feature dimension
+# ----------------------------------------------------------------------
+def run_fig8(profile: BenchProfile = QUICK,
+             datasets: Optional[Sequence[str]] = None,
+             models: Optional[Sequence[str]] = None,
+             dims: Sequence[int] = (64, 128, 256, 512)) -> ExperimentResult:
+    if datasets is None:
+        datasets = ALL_DATASETS if profile.dataset_scale >= 1.0 else \
+            ("papers100m-mini", "twitter-mini")
+    if models is None:
+        models = ALL_MODELS
+    rows = []
+    data: Dict = {}
+    for model in models:
+        for dataset in datasets:
+            for system in MAIN_SYSTEMS:
+                cells = []
+                for dim in dims:
+                    ds = get_dataset(dataset, dim=dim,
+                                     scale=profile.dataset_scale)
+                    res = _run(system, ds, profile,
+                               train_cfg=_train_cfg(profile, model))
+                    cells.append(res.cell())
+                    data[(model, dataset, system, dim)] = res.cell()
+                rows.append([model, dataset, system] + cells)
+    table = format_table(
+        ["model", "dataset", "system"] + [f"dim={d}" for d in dims], rows,
+        "Epoch time (s) vs feature dimension")
+    notes = [
+        "paper: GNNDrive-GPU 16.9x/2.6x faster than PyG+/Ginex "
+        "(papers100m, sage/gcn, dim 128); 11.2x/2.0x for GAT",
+        "paper: PyG+ most dim-sensitive (7.0x from 64->512 on mag240m); "
+        "GNNDrive ~1.1x",
+        "paper: PyG+ competitive at small dims on twitter/friendster "
+        "(fits in page cache)",
+    ]
+    return ExperimentResult("fig8", "Overall training performance",
+                            [table], notes, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — epoch time vs host memory (dim 512)
+# ----------------------------------------------------------------------
+def run_fig9(profile: BenchProfile = QUICK,
+             memories_gb: Sequence[float] = (8, 32, 128),
+             datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    if datasets is None:
+        datasets = ALL_DATASETS if profile.dataset_scale >= 1.0 else \
+            ("papers100m-mini", "twitter-mini")
+    rows = []
+    data: Dict = {}
+    for dataset in datasets:
+        for system in MAIN_SYSTEMS:
+            cells = []
+            for host_gb in memories_gb:
+                ds = get_dataset(dataset, dim=512,
+                                 scale=profile.dataset_scale)
+                res = _run(system, ds, profile, host_gb=host_gb)
+                cells.append(res.cell())
+                data[(dataset, system, host_gb)] = res.cell()
+            rows.append([dataset, system] + cells)
+    table = format_table(
+        ["dataset", "system"] + [f"{g}GB" for g in memories_gb], rows,
+        "Epoch time (s) vs host memory, dim 512, GraphSAGE")
+    notes = [
+        "paper: Ginex OOMs at 8GB (Twitter); GNNDrive-GPU trains even at 8GB "
+        "(5.8x faster than PyG+ there)",
+        "paper: PyG+ most memory-sensitive; GNNDrive flat beyond 32GB",
+    ]
+    return ExperimentResult("fig9", "Memory-capacity sweep", [table], notes,
+                            data)
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — epoch time vs mini-batch size
+# ----------------------------------------------------------------------
+def run_fig10(profile: BenchProfile = QUICK,
+              batch_sizes: Sequence[int] = (50, 100, 200, 400),
+              ) -> ExperimentResult:
+    combos = [("papers100m-mini", "sage"), ("friendster-mini", "gat")]
+    rows = []
+    data: Dict = {}
+    for dataset, model in combos:
+        for system in MAIN_SYSTEMS:
+            cells = []
+            for bs in batch_sizes:
+                ds = get_dataset(dataset, scale=profile.dataset_scale)
+                res = _run(system, ds, profile,
+                           train_cfg=_train_cfg(profile, model,
+                                                batch_size=bs))
+                cells.append(res.cell())
+                data[(dataset, model, system, bs)] = res.cell()
+            rows.append([dataset, model, system] + cells)
+    table = format_table(
+        ["dataset", "model", "system"] + [f"bs={b}" for b in batch_sizes],
+        rows, "Epoch time (s) vs mini-batch size (paper sizes / 10)")
+    notes = [
+        "paper: larger batches generally shorten epochs for GNNDrive/Ginex; "
+        "PyG+ fluctuates (contention) and OOMs at 4000 on friendster+GAT",
+    ]
+    return ExperimentResult("fig10", "Mini-batch-size sweep", [table], notes,
+                            data)
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — feature-buffer size sweep
+# ----------------------------------------------------------------------
+def run_fig12(profile: BenchProfile = QUICK,
+              scales: Sequence[float] = (1, 2, 4, 8)) -> ExperimentResult:
+    from repro.core import GNNDriveConfig
+    rows = []
+    data: Dict = {}
+    # papers100m keeps the paper's buffer:features ratio (~12%); the
+    # scaled twitter buffer would already cover most of its graph.
+    for system in ("gnndrive-gpu", "gnndrive-cpu"):
+        cells = []
+        for fb_scale in scales:
+            ds = get_dataset("papers100m-mini", scale=profile.dataset_scale)
+            res = _run(system, ds, profile,
+                       gnndrive_config=GNNDriveConfig(
+                           feature_buffer_scale=fb_scale))
+            cells.append(res.cell())
+            data[(system, fb_scale)] = res.cell()
+        rows.append([system] + cells)
+    table = format_table(["system"] + [f"{s}x" for s in scales], rows,
+                         "Epoch time (s) vs feature-buffer size, "
+                         "papers100m-mini, GraphSAGE")
+    notes = ["paper: 2x buffer helps (1.4x GPU / 1.2x CPU via inter-batch "
+             "locality); beyond that management overhead flattens the gain"]
+    return ExperimentResult("fig12", "Feature-buffer-size sweep", [table],
+                            notes, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — multi-GPU scalability (the K80 machine)
+# ----------------------------------------------------------------------
+def run_fig13(profile: BenchProfile = QUICK,
+              workers: Sequence[int] = (1, 2, 4, 6, 8)) -> ExperimentResult:
+    spec = MachineSpec.paper_scaled(
+        host_gb=256, scale=1e-3 * profile.dataset_scale, num_gpus=8,
+        ssd=S3510, gpu_profile=GPU_K80, pcie_bandwidth=6e9,
+        sample_cost_scale=3.0)
+    rows = []
+    data: Dict = {}
+    for system in ("gnndrive-gpu", "gnndrive-cpu"):
+        cells = []
+        for w in workers:
+            ds = get_dataset("mag240m-mini", scale=profile.dataset_scale)
+            res = _run(system, ds, profile, num_workers=w,
+                       machine_spec=spec)
+            cells.append(res.cell())
+            data[(system, w)] = res.cell()
+        rows.append([system] + cells)
+    table = format_table(["system"] + [f"{w} proc" for w in workers], rows,
+                         "Epoch time (s) vs subprocess count "
+                         "(8x K80 machine), mag240m-mini, GraphSAGE")
+    notes = [
+        "paper: 2 subprocesses give 1.7x (GPU) / 1.8x (CPU) over 1; "
+        "GPU variant saturates by ~6 (gradient-sync overhead)",
+    ]
+    return ExperimentResult("fig13", "Multi-GPU scalability", [table], notes,
+                            data)
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — time-to-accuracy
+# ----------------------------------------------------------------------
+def run_fig14(profile: BenchProfile = QUICK,
+              max_epochs: int = 8) -> ExperimentResult:
+    configs = [("papers100m-mini", 128), ("mag240m-mini", 768)]
+    systems = ("gnndrive-gpu", "gnndrive-cpu", "ginex", "pyg+")
+    tables = []
+    data: Dict = {}
+    notes = [
+        "paper: all systems converge to the same accuracy; mini-batch "
+        "reordering does not affect convergence",
+        "paper: on mag240m only GNNDrive-GPU reaches target (PyG+ OOT, "
+        "Ginex OOM)",
+    ]
+    for dataset, dim in configs:
+        ds = get_dataset(dataset, dim=dim, scale=profile.dataset_scale)
+        # Time budget for OOT detection: generous multiple of the
+        # fastest system's run.
+        baseline = _run("gnndrive-gpu", ds, profile, epochs=max_epochs,
+                        warmup_epochs=0, eval_every=1)
+        budget = None
+        curves: Dict[str, List] = {}
+        if baseline.ok:
+            total = sum(s.epoch_time for s in baseline.stats)
+            # The paper's time allowance: PyG+ completes papers100m at
+            # 18.4x GNNDrive's runtime but runs out of time on mag240m.
+            budget = 12.0 * total
+            curves["gnndrive-gpu"] = [
+                (sum(x.epoch_time for x in baseline.stats[:i + 1]), s.val_acc)
+                for i, s in enumerate(baseline.stats)
+            ]
+        for system in systems[1:]:
+            res = _run(system, ds, profile, epochs=max_epochs,
+                       warmup_epochs=0, eval_every=1, time_budget=budget)
+            if res.ok:
+                curves[system] = [
+                    (sum(x.epoch_time for x in res.stats[:i + 1]), s.val_acc)
+                    for i, s in enumerate(res.stats)
+                ]
+            else:
+                curves[system] = res.status
+        data[dataset] = curves
+        rows = []
+        for system, curve in curves.items():
+            if isinstance(curve, str):
+                rows.append([system, curve, "-", "-"])
+            else:
+                t_final, acc_final = curve[-1]
+                rows.append([system, "ok", t_final, acc_final])
+        tables.append(format_table(
+            ["system", "status", "time-to-final (s)", "final val acc"],
+            rows, f"Time-to-accuracy, {dataset} (dim {dim})"))
+    return ExperimentResult("fig14", "Training convergence", tables, notes,
+                            data)
+
+
+# ----------------------------------------------------------------------
+# Table 2 — MariusGNN comparison
+# ----------------------------------------------------------------------
+def run_tab2(profile: BenchProfile = QUICK) -> ExperimentResult:
+    datasets = {
+        "papers100m-mini": get_dataset("papers100m-mini", dim=128,
+                                       scale=profile.dataset_scale),
+        "mag240m-mini": get_dataset("mag240m-mini", dim=768,
+                                    scale=profile.dataset_scale),
+    }
+    rows = []
+    data: Dict = {}
+
+    def add_row(label, system, host_gb):
+        for ds_name, ds in datasets.items():
+            res = _run(system, ds, profile, host_gb=host_gb)
+            if res.ok:
+                last = res.stats[-1]
+                prep = last.stages.data_prep
+                train = last.epoch_time - prep
+                data[(label, ds_name)] = (prep, train, last.epoch_time)
+            else:
+                data[(label, ds_name)] = (res.status,) * 3
+        prep_p, train_p, tot_p = data[(label, "papers100m-mini")]
+        prep_m, train_m, tot_m = data[(label, "mag240m-mini")]
+        rows.append([label, prep_p, prep_m, train_p, train_m, tot_p, tot_m])
+
+    add_row("GNNDrive-GPU", "gnndrive-gpu", 32)
+    add_row("GNNDrive-CPU", "gnndrive-cpu", 32)
+    add_row("PyG+", "pyg+", 32)
+    add_row("Ginex", "ginex", 32)
+    add_row("MariusGNN-32G", "mariusgnn", 32)
+    add_row("MariusGNN-128G", "mariusgnn", 128)
+
+    table = format_table(
+        ["system", "prep papers", "prep mag", "train papers", "train mag",
+         "overall papers", "overall mag"],
+        rows, "Runtime of one epoch (s): data prep / training / overall")
+    notes = [
+        "paper: MariusGNN-32G papers100m: prep 296.35 train 346.66 "
+        "overall 643.02 (GNNDrive-GPU 241.12); OOM on mag240m at both "
+        "32G and 128G",
+        "paper: MariusGNN-128G papers100m prep still ~39% of overall",
+    ]
+    return ExperimentResult("tab2", "MariusGNN comparison", [table], notes,
+                            data)
+
+
+# ----------------------------------------------------------------------
+# Figure B.1 — sync vs async I/O microbenchmark
+# ----------------------------------------------------------------------
+def run_figB1(profile: BenchProfile = QUICK,
+              threads: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+              depths: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+              ) -> ExperimentResult:
+    """*profile* is accepted for interface uniformity (unused: the
+    microbenchmark is scale-free)."""
+    sync = {t: run_sync(t) for t in threads}
+    asyn = {d: run_async(d) for d in depths}
+    sync_buf = run_sync(16, buffered=True)
+    async_buf = run_async(32, buffered=True)
+    mb = 1e-6
+
+    t1 = format_series("sync bandwidth", list(threads),
+                       [sync[t].bandwidth * mb for t in threads],
+                       "threads", "MB/s")
+    t2 = format_series("async bandwidth", list(depths),
+                       [asyn[d].bandwidth * mb for d in depths],
+                       "io-depth", "MB/s")
+    t3 = format_series("sync latency", list(threads),
+                       [sync[t].mean_latency * 1e6 for t in threads],
+                       "threads", "us")
+    t4 = format_series("async latency", list(depths),
+                       [asyn[d].mean_latency * 1e6 for d in depths],
+                       "io-depth", "us")
+    data = {"sync": sync, "async": asyn,
+            "sync_buffered_16": sync_buf, "async_buffered_32": async_buf}
+    ratio = asyn[max(depths)].bandwidth / sync[max(threads)].bandwidth
+    notes = [
+        "paper: async single-thread at depth ~channels matches sync "
+        "multi-thread bandwidth; latency grows with depth; buffered vs "
+        "direct difference narrows at high depth",
+        f"measured: async(depth={max(depths)}) / sync({max(threads)} "
+        f"threads) bandwidth = {ratio:.2f}",
+    ]
+    return ExperimentResult("figB1", "Sync vs async I/O (Appendix B)",
+                            [t1, t2, t3, t4], notes, data)
+
+
+ALL_EXPERIMENTS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "tab1": run_tab1,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "tab2": run_tab2,
+    "figB1": run_figB1,
+}

@@ -1,0 +1,112 @@
+"""Fio-style storage microbenchmarks (Appendix B, Fig. B.1).
+
+Random 512 B reads over a large file on the simulated SSD:
+
+* **sync**: N threads, each issuing blocking reads back-to-back;
+* **async**: one io_uring ring at a given io-depth;
+* **buffered vs direct**: buffered reads fetch whole 4 KiB pages through
+  the page cache (first pass: all misses), direct reads move sectors.
+
+Reported: aggregate bandwidth and mean per-request latency — the four
+panels of Fig. B.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.simcore import Simulator
+from repro.storage import (
+    AsyncRing,
+    FileCatalog,
+    SSDDevice,
+    SSDSpec,
+    PM883,
+    SyncFile,
+)
+from repro.storage.spec import PAGE_SIZE, SECTOR_SIZE
+
+
+@dataclass
+class IoResult:
+    bandwidth: float       # bytes/s
+    mean_latency: float    # seconds per request
+    total_time: float
+    requests: int
+
+
+def run_sync(num_threads: int, requests_per_thread: int = 200,
+             request_size: int = SECTOR_SIZE, buffered: bool = False,
+             spec: SSDSpec = PM883) -> IoResult:
+    """N threads of blocking random reads."""
+    sim = Simulator()
+    dev = SSDDevice(sim, spec)
+    cat = FileCatalog()
+    fh = cat.create("fio", nbytes=30 << 30)
+    f = SyncFile(sim, dev, fh, direct=not buffered)
+    size = PAGE_SIZE if buffered else request_size
+    latencies: List[float] = []
+
+    def worker(sim, tid):
+        rng = np.random.default_rng(tid)
+        for _ in range(requests_per_thread):
+            offset = int(rng.integers(0, fh.nbytes // size)) * size
+            t0 = sim.now
+            yield f.read(offset, size)
+            latencies.append(sim.now - t0)
+
+    procs = [sim.process(worker(sim, t)) for t in range(num_threads)]
+    sim.drain(procs)
+    n = num_threads * requests_per_thread
+    return IoResult(
+        bandwidth=n * request_size / sim.now,
+        mean_latency=float(np.mean(latencies)),
+        total_time=sim.now,
+        requests=n,
+    )
+
+
+def run_async(io_depth: int, num_requests: int = 2000,
+              request_size: int = SECTOR_SIZE, buffered: bool = False,
+              spec: SSDSpec = PM883) -> IoResult:
+    """One thread, one ring, bounded io-depth."""
+    sim = Simulator()
+    dev = SSDDevice(sim, spec)
+    cat = FileCatalog()
+    fh = cat.create("fio", nbytes=30 << 30)
+    ring = AsyncRing(sim, dev, depth=io_depth, direct=not buffered)
+    size = PAGE_SIZE if buffered else request_size
+    rng = np.random.default_rng(0)
+
+    def proc(sim):
+        for _ in range(num_requests):
+            offset = int(rng.integers(0, fh.nbytes // size)) * size
+            ring.prepare_read(fh, offset, size)
+        done = yield ring.submit_and_wait()
+        return done
+
+    done = sim.run_process(proc(sim))
+    # Per-request latency: completion minus the time it entered the
+    # depth window (request i waits for completion i - depth).
+    starts = np.zeros(num_requests)
+    if io_depth < num_requests:
+        starts[io_depth:] = done[:-io_depth]
+    return IoResult(
+        bandwidth=num_requests * request_size / sim.now,
+        mean_latency=float(np.mean(done - starts)),
+        total_time=sim.now,
+        requests=num_requests,
+    )
+
+
+def sweep(threads=(1, 2, 4, 8, 16, 32, 64),
+          depths=(1, 2, 4, 8, 16, 32, 64),
+          buffered: bool = False) -> Dict[str, Dict[int, IoResult]]:
+    """The full Fig. B.1 grid for one I/O mode."""
+    return {
+        "sync": {t: run_sync(t, buffered=buffered) for t in threads},
+        "async": {d: run_async(d, buffered=buffered) for d in depths},
+    }

@@ -1,0 +1,66 @@
+"""Plain-text table/series rendering for reproduced figures."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fmt_value(v, digits: int = 3) -> str:
+    """Render a cell: floats rounded, None/inf/nan as markers."""
+    if v is None:
+        return "-"
+    if isinstance(v, str):
+        return v
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "nan"
+        if math.isinf(v):
+            return "inf"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 10 ** (-digits):
+            return f"{v:.{digits}g}"
+        return f"{v:.{digits}f}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[fmt_value(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y",
+                  width: int = 40) -> str:
+    """A labelled series with a crude ASCII sparkbar per point."""
+    finite = [y for y in ys if isinstance(y, (int, float))
+              and not (isinstance(y, float) and (math.isnan(y) or math.isinf(y)))]
+    peak = max(finite) if finite else 1.0
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        if isinstance(y, (int, float)) and not (
+                isinstance(y, float) and (math.isnan(y) or math.isinf(y))):
+            bar = "#" * max(1, int(width * y / peak)) if peak > 0 else ""
+            lines.append(f"  {fmt_value(x):>8} | {fmt_value(y):>10} {bar}")
+        else:
+            lines.append(f"  {fmt_value(x):>8} | {fmt_value(y):>10}")
+    return "\n".join(lines)
+
+
+def format_ratio_note(measured: float, paper: float, what: str) -> str:
+    """'measured X vs paper Y' one-liner for EXPERIMENTS.md parity."""
+    return (f"  {what}: measured {fmt_value(measured)}x "
+            f"(paper reports {fmt_value(paper)}x)")

@@ -1,0 +1,72 @@
+"""Persist experiment results as JSON artifacts.
+
+``ExperimentResult.data`` holds heterogeneous values (floats, status
+strings, numpy scalars/arrays, dataclasses, tuple keys); this module
+flattens everything into plain JSON so reproduced figures can be
+archived, diffed across runs, and post-processed without re-running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+import numpy as np
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-compatible values."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else str(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return _jsonable(float(value))
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return " | ".join(str(k) for k in key)
+    return str(key)
+
+
+def result_to_dict(result) -> dict:
+    """ExperimentResult -> plain dict (see :func:`save_result`)."""
+    return {
+        "name": result.name,
+        "title": result.title,
+        "tables": list(result.tables),
+        "notes": list(result.notes),
+        "data": _jsonable(result.data),
+    }
+
+
+def save_result(result, path: str) -> None:
+    """Write one experiment's outcome as a JSON artifact."""
+    with open(path, "w") as f:
+        json.dump(result_to_dict(result), f, indent=2)
+
+
+def load_result(path: str) -> dict:
+    """Read a saved artifact back (as a plain dict)."""
+    with open(path) as f:
+        doc = json.load(f)
+    for field in ("name", "title", "tables", "notes", "data"):
+        if field not in doc:
+            raise ValueError(f"not an experiment artifact: missing {field!r}")
+    return doc

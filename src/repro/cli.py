@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registry (Table 1 mini datasets) with their footprints.
+``run``
+    Train one system on one dataset and print per-epoch stats.
+``compare``
+    Run several systems on the same workload and print the comparison.
+``experiment``
+    Regenerate one paper artifact (fig2..fig14, tab1, tab2, figB1).
+``fio``
+    The Appendix-B storage microbenchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.report import format_table
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", default="papers100m-mini")
+    p.add_argument("--model", default="sage", choices=["sage", "gcn", "gat"])
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="default: 50 x scale")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="dataset scale relative to the registry minis")
+    p.add_argument("--host-gb", type=float, default=32,
+                   help="paper-scale host memory (scaled automatically)")
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _workload(args):
+    from repro.bench.runner import get_dataset
+    from repro.core.base import TrainConfig
+
+    ds = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    bs = args.batch_size or max(10, int(round(50 * args.scale)))
+    cfg = TrainConfig(model_kind=args.model, batch_size=bs, seed=args.seed)
+    return ds, cfg
+
+
+def cmd_datasets(args) -> int:
+    from repro.bench.runner import get_dataset
+    from repro.graph import DATASET_REGISTRY
+
+    rows = []
+    for name in sorted(DATASET_REGISTRY):
+        if name == "tiny" and not args.all:
+            continue
+        ds = get_dataset(name, scale=args.scale)
+        r = ds.summary_row()
+        rows.append([r["dataset"], r["nodes"], r["edges"], r["dim"],
+                     r["classes"], r["topo_mb"], r["feat_mb"],
+                     r["total_mb"]])
+    print(format_table(
+        ["dataset", "#node", "#edge", "dim", "#class", "topo MB",
+         "feat MB", "total MB"],
+        rows, f"Dataset registry at scale {args.scale}"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.bench.runner import run_system
+
+    ds, cfg = _workload(args)
+    res = run_system(args.system, ds, cfg, host_gb=args.host_gb,
+                     epochs=args.epochs, warmup_epochs=0,
+                     data_scale=args.scale,
+                     eval_every=1 if args.eval else 0)
+    if not res.ok:
+        print(f"{args.system}: {res.status} ({res.error})")
+        return 1
+    rows = []
+    for s in res.stats:
+        rows.append([s.epoch, s.epoch_time, s.loss, s.val_acc,
+                     s.stages.sample, s.stages.extract, s.stages.train])
+    print(format_table(
+        ["epoch", "time (s)", "loss", "val acc", "sample", "extract",
+         "train"],
+        rows, f"{args.system} on {ds.name} ({args.model})"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.bench.runner import SYSTEM_NAMES, run_system
+
+    ds, cfg = _workload(args)
+    systems = args.systems or list(SYSTEM_NAMES)
+    rows = []
+    base = None
+    for system in systems:
+        print(f"running {system} ...", file=sys.stderr)
+        res = run_system(system, ds, cfg, host_gb=args.host_gb,
+                         epochs=args.epochs, warmup_epochs=1,
+                         data_scale=args.scale)
+        if res.ok:
+            if base is None:
+                base = res.epoch_time
+            rows.append([system, res.epoch_time,
+                         f"{res.epoch_time / base:.2f}x"])
+        else:
+            rows.append([system, res.status, "-"])
+    print(format_table(["system", "epoch (s)", "vs first"], rows,
+                       f"{ds.name} ({args.model}), host {args.host_gb} GB"))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+    from repro.bench.runner import FULL, QUICK
+
+    if args.name not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; "
+              f"known: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    profile = FULL if args.full else QUICK
+    result = ALL_EXPERIMENTS[args.name](profile)
+    print(result.render())
+    if args.output:
+        from repro.bench.results_io import save_result
+        save_result(result, args.output)
+        print(f"\nartifact written to {args.output}")
+    return 0
+
+
+def cmd_fio(args) -> int:
+    from repro.bench.experiments import run_figB1
+
+    result = run_figB1()
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="GNNDrive reproduction (ICPP 2024) command-line tools")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the dataset registry")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--all", action="store_true", help="include 'tiny'")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("run", help="train one system")
+    p.add_argument("system", choices=["gnndrive-gpu", "gnndrive-cpu",
+                                      "pyg+", "ginex", "mariusgnn",
+                                      "in-memory"])
+    _add_workload_args(p)
+    p.add_argument("--eval", action="store_true",
+                   help="evaluate validation accuracy every epoch")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="compare systems on one workload")
+    _add_workload_args(p)
+    p.add_argument("--systems", nargs="+", default=None)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("name", help="fig2|fig3|tab1|fig8|...|tab2|figB1")
+    p.add_argument("--full", action="store_true",
+                   help="full profile (registry-scale minis)")
+    p.add_argument("--output", default=None,
+                   help="write the result as a JSON artifact")
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("fio", help="Appendix-B storage microbenchmark")
+    p.set_defaults(fn=cmd_fio)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

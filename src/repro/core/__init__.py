@@ -1,0 +1,33 @@
+"""GNNDrive: the paper's primary contribution.
+
+The four-stage pipeline of §4.1 — samplers, extractors, trainer,
+releaser, joined by ID-only bounded queues — with:
+
+* the feature-buffer manager of §4.2 (mapping table, reverse mapping,
+  standby LRU list, reference counts, node aliasing, delayed
+  invalidation),
+* asynchronous two-phase feature extraction (io_uring loads overlapped
+  with per-node PCIe transfers),
+* a host staging buffer bounded by extractors x batch nodes,
+* direct I/O to keep feature reads out of the OS page cache, and
+* mini-batch reordering plus multi-GPU data parallelism (§4.3).
+"""
+
+from repro.core.config import GNNDriveConfig
+from repro.core.feature_buffer import FeatureBuffer
+from repro.core.staging import StagingBuffer
+from repro.core.stats import EpochStats, StageBreakdown
+from repro.core.base import TrainingSystem
+from repro.core.driver import GNNDrive
+from repro.core.multigpu import MultiGPUGNNDrive
+
+__all__ = [
+    "GNNDriveConfig",
+    "FeatureBuffer",
+    "StagingBuffer",
+    "EpochStats",
+    "StageBreakdown",
+    "TrainingSystem",
+    "GNNDrive",
+    "MultiGPUGNNDrive",
+]

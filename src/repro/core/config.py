@@ -1,0 +1,69 @@
+"""GNNDrive runtime configuration (§5 'Baselines' defaults).
+
+Workload parameters (model, batch size, fanouts, ...) live in
+:class:`repro.core.base.TrainConfig`, shared with the baselines; this
+config holds only GNNDrive's own knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GNNDriveConfig:
+    """Tunables of the GNNDrive pipeline.
+
+    Defaults follow the paper: four samplers, four extractors, one
+    trainer, one releaser; extracting-queue capacity six; training-queue
+    capacity four; feature extraction over io_uring with direct I/O.
+    """
+
+    # Actors.
+    num_samplers: int = 4
+    num_extractors: int = 4
+    num_releasers: int = 1
+
+    # Queues (capacity bounds; samplers/extractors block when full).
+    extract_queue_depth: int = 6
+    train_queue_depth: int = 4
+
+    # Extraction.
+    io_depth: int = 64
+    direct_io: bool = True
+    #: GPUDirect Storage (§4.4 "GPU Direct Access", the paper's future
+    #: work): SSD -> GPU DMA with no host staging buffer, at the cost of
+    #: a 4 KiB access granularity (redundant loading for small records).
+    gpu_direct: bool = False
+    #: Feature-buffer size as a multiple of the deadlock-free minimum
+    #: (Ne x Mb plus train-queue depth x Mb); Fig. 12 sweeps this.
+    feature_buffer_scale: float = 1.0
+
+    # Placement: 'gpu' (feature buffer in device memory, staged over
+    # PCIe) or 'cpu' (feature buffer in host memory, no staging hop).
+    device: str = "gpu"
+    gpu_id: int = 0
+
+    #: Safety margin on the estimated max nodes per mini-batch (Mb).
+    batch_nodes_margin: float = 1.3
+
+    def __post_init__(self):
+        if self.num_samplers < 1 or self.num_extractors < 1:
+            raise ValueError("need at least one sampler and one extractor")
+        if self.num_releasers < 1:
+            raise ValueError("need at least one releaser")
+        if self.extract_queue_depth < 1 or self.train_queue_depth < 1:
+            raise ValueError("queue depths must be >= 1")
+        if self.device not in ("gpu", "cpu"):
+            raise ValueError(f"device must be 'gpu' or 'cpu', got {self.device!r}")
+        if self.feature_buffer_scale < 1.0:
+            raise ValueError("feature_buffer_scale must be >= 1")
+        if self.io_depth < 1:
+            raise ValueError("io_depth must be >= 1")
+        if self.batch_nodes_margin < 1.0:
+            raise ValueError("batch_nodes_margin must be >= 1")
+        if self.gpu_direct and self.device != "gpu":
+            raise ValueError("gpu_direct requires device='gpu'")
+
+    def with_(self, **kw) -> "GNNDriveConfig":
+        return replace(self, **kw)

@@ -1,0 +1,246 @@
+"""The feature-buffer manager of §4.2 — Algorithm 1's data structure.
+
+Four components, exactly as Figure 6 draws them:
+
+* **mapping table** — per node: slot index (``-1`` = not mapped),
+  reference count, valid bit;
+* **buffer** — the slot array itself (the data plane lives here: real
+  feature rows the trainer gathers by alias);
+* **reverse mapping array** — slot -> node id (``-1`` = empty);
+* **standby list** — LRU-ordered free/retired slots.
+
+Invariants (checked by property tests):
+
+* a slot is in standby iff its mapped node (if any) has ref count 0;
+* ``reverse[slot_of[v]] == v`` for every mapped node *v*;
+* a node is ``valid`` only while mapped;
+* the case (slot == -1, valid) is impossible (§4.2).
+
+Invalidation of a retired node is *delayed* until its slot is actually
+reused, which preserves inter-batch locality (§4.2 "Release Feature
+Buffer").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simcore.engine import Event, Simulator
+
+
+@dataclass
+class BatchClassification:
+    """Outcome of the reuse scan at the start of an extraction.
+
+    ``aliases`` holds slot indexes for nodes already mapped; ``-1`` for
+    nodes that still need a slot (either loaded by this extractor or
+    awaited from another).
+    """
+
+    aliases: np.ndarray
+    needs_load: np.ndarray   # node ids this extractor must load
+    wait_nodes: np.ndarray   # node ids some other extractor is loading
+    reused: int              # nodes served from the buffer
+
+
+class FeatureBuffer:
+    """Slot-managed feature cache (device or host resident)."""
+
+    def __init__(self, sim: Simulator, num_slots: int, num_nodes: int,
+                 dim: int, dtype=np.float32):
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.sim = sim
+        self.num_slots = int(num_slots)
+        self.dim = int(dim)
+        # Mapping table.
+        self.slot_of = np.full(num_nodes, -1, dtype=np.int64)
+        self.ref = np.zeros(num_nodes, dtype=np.int64)
+        self.valid = np.zeros(num_nodes, dtype=bool)
+        # Reverse mapping.
+        self.reverse = np.full(num_slots, -1, dtype=np.int64)
+        # Standby list: slot -> None, LRU first.  All slots start free.
+        self.standby: "OrderedDict[int, None]" = OrderedDict(
+            (s, None) for s in range(num_slots))
+        # The buffer (data plane).
+        self.data = np.zeros((num_slots, dim), dtype=dtype)
+        # Waiters.
+        self._slot_waiters: Deque[Event] = deque()
+        self._node_events: Dict[int, Event] = {}
+        # Statistics.
+        self.stat_reused = 0
+        self.stat_loaded = 0
+        self.stat_evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def free_slots(self) -> int:
+        return len(self.standby)
+
+    # ------------------------------------------------------------------
+    # Extraction-side operations (Algorithm 1 lines 5-19)
+    # ------------------------------------------------------------------
+    def begin_batch(self, nodes: np.ndarray) -> BatchClassification:
+        """Classify nodes for reuse / wait / load and take references.
+
+        Mirrors the first loop of Algorithm 1: valid nodes are aliased
+        immediately (pulling their slot off standby if retired); nodes
+        another extractor is mid-extracting go to the wait list; the
+        rest must be loaded.  Reference counts of *all* nodes are
+        incremented.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(np.unique(nodes)) != len(nodes):
+            raise ValueError("batch node list must be unique")
+        aliases = np.full(len(nodes), -1, dtype=np.int64)
+        slot = self.slot_of[nodes]
+        valid = self.valid[nodes]
+        ref = self.ref[nodes]
+
+        hit_mask = valid
+        # Retired hits: pull their slots out of standby.
+        retired = nodes[hit_mask & (ref == 0)]
+        for v in retired:
+            self.standby.pop(int(self.slot_of[v]), None)
+        aliases[hit_mask] = slot[hit_mask]
+
+        wait_mask = (~valid) & (ref > 0)
+        load_mask = (~valid) & (ref == 0)
+        self.ref[nodes] += 1
+        self.stat_reused += int(hit_mask.sum())
+        return BatchClassification(
+            aliases=aliases,
+            needs_load=nodes[load_mask],
+            wait_nodes=nodes[wait_mask],
+            reused=int(hit_mask.sum()),
+        )
+
+    def allocate_slots(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Assign LRU standby slots to as many *nodes* as possible.
+
+        Returns ``(assigned_nodes, remaining_nodes)``.  For each reused
+        slot the previous occupant's mapping entry is invalidated now
+        (the delayed invalidation of §4.2).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        k = min(len(self.standby), len(nodes))
+        assigned = nodes[:k]
+        for v in assigned:
+            s, _ = self.standby.popitem(last=False)  # LRU
+            prev = int(self.reverse[s])
+            if prev >= 0:
+                # Delayed invalidation of the previous occupant.
+                if self.ref[prev] != 0:
+                    raise SimulationError(
+                        f"standby slot {s} maps node {prev} with live refs")
+                self.valid[prev] = False
+                self.slot_of[prev] = -1
+                self.stat_evictions += 1
+            self.slot_of[v] = s
+            self.reverse[s] = int(v)
+        self.stat_loaded += k
+        return assigned, nodes[k:]
+
+    def slot_wait_event(self) -> Event:
+        """Event that fires when the releaser frees at least one slot."""
+        ev = Event(self.sim)
+        self._slot_waiters.append(ev)
+        return ev
+
+    def fill(self, nodes: np.ndarray, rows: np.ndarray) -> None:
+        """Data-plane write into the nodes' assigned slots."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        slots = self.slot_of[nodes]
+        if (slots < 0).any():
+            raise SimulationError("fill() for nodes without slots")
+        self.data[slots] = rows
+
+    def finish_load(self, nodes: np.ndarray) -> None:
+        """Mark nodes valid (extraction complete) and wake waiters."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if (self.slot_of[nodes] < 0).any():
+            raise SimulationError("finish_load() for unmapped nodes")
+        self.valid[nodes] = True
+        for v in nodes:
+            ev = self._node_events.pop(int(v), None)
+            if ev is not None and not ev.triggered:
+                ev.succeed(int(v))
+
+    def ready_event(self, node: int) -> Event:
+        """Event that fires when *node* becomes valid (Algorithm 1 L.38)."""
+        node = int(node)
+        if self.valid[node]:
+            ev = Event(self.sim)
+            ev.succeed(node)
+            return ev
+        ev = self._node_events.get(node)
+        if ev is None:
+            ev = Event(self.sim)
+            self._node_events[node] = ev
+        return ev
+
+    def resolve_aliases(self, nodes: np.ndarray) -> np.ndarray:
+        """Slot indexes for nodes (used after waits complete)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        slots = self.slot_of[nodes]
+        if (slots < 0).any():
+            raise SimulationError("alias resolution before slot assignment")
+        return slots
+
+    # ------------------------------------------------------------------
+    # Trainer / releaser side
+    # ------------------------------------------------------------------
+    def gather(self, aliases: np.ndarray) -> np.ndarray:
+        """Read rows by slot alias (the trainer's indexed access, §4.1)."""
+        return self.data[np.asarray(aliases, dtype=np.int64)]
+
+    def release(self, nodes: np.ndarray) -> None:
+        """Drop one reference per node; retire zero-ref slots to standby.
+
+        Invalidation stays delayed: the mapping entry survives so a
+        later batch can still reuse the slot (inter-batch locality).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if (self.ref[nodes] <= 0).any():
+            raise SimulationError("release of node with zero references")
+        self.ref[nodes] -= 1
+        done = nodes[self.ref[nodes] == 0]
+        for v in done:
+            s = int(self.slot_of[v])
+            if s >= 0:
+                self.standby[s] = None  # MRU end
+        if len(done) and self._slot_waiters:
+            waiters, self._slot_waiters = self._slot_waiters, deque()
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed(len(done))
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Structural invariants (used by property-based tests)."""
+        mapped = np.nonzero(self.slot_of >= 0)[0]
+        for v in mapped:
+            s = int(self.slot_of[v])
+            if self.reverse[s] != v:
+                raise SimulationError(
+                    f"reverse[{s}]={self.reverse[s]} but slot_of[{v}]={s}")
+        if self.valid[self.slot_of < 0].any():
+            raise SimulationError("valid node without a slot (impossible case)")
+        for s in self.standby:
+            prev = int(self.reverse[s])
+            if prev >= 0 and self.ref[prev] != 0:
+                raise SimulationError(
+                    f"standby slot {s} belongs to node {prev} with refs")
+        if (self.ref < 0).any():
+            raise SimulationError("negative reference count")

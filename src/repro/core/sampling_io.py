@@ -1,0 +1,51 @@
+"""Topology-I/O accounting for the sample stage.
+
+Every system samples through the memory-mapped CSC index array (§4.4:
+GNNDrive "does memory-mapped sampling like PyG+"); this module turns a
+hop frontier into the set of 4 KiB index-array pages the hop faults, so
+the page-cache model can charge hits/misses — the channel through which
+the extract stage's memory pressure slows sampling down (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csc import CSCGraph
+from repro.storage.files import FileHandle
+from repro.storage.page_cache import PageCache
+
+#: CSC index entries are int64.
+INDEX_ITEMSIZE = 8
+
+
+def frontier_pages(cache: PageCache, graph: CSCGraph,
+                   frontier: np.ndarray) -> np.ndarray:
+    """Unique index-array pages covering the adjacency runs of *frontier*.
+
+    Vectorized: per-node byte spans -> first/last page -> bounded
+    expansion (hub nodes span many pages; the expansion width is the
+    max span over the frontier).
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if len(frontier) == 0:
+        return np.empty(0, dtype=np.int64)
+    spans = graph.touched_index_bytes(frontier, itemsize=INDEX_ITEMSIZE)
+    starts, ends = spans[:, 0], spans[:, 1]
+    nonempty = ends > starts
+    if not nonempty.any():
+        return np.empty(0, dtype=np.int64)
+    starts, ends = starts[nonempty], ends[nonempty]
+    page = cache.page_size
+    first = starts // page
+    last = (ends - 1) // page
+    width = int((last - first).max()) + 1
+    pages = first[:, None] + np.arange(width)[None, :]
+    mask = pages <= last[:, None]
+    return np.unique(pages[mask])
+
+
+def topo_access_event(cache: PageCache, handle: FileHandle,
+                      graph: CSCGraph, frontier: np.ndarray):
+    """Page-cache access event for one hop's adjacency reads."""
+    return cache.access(handle, frontier_pages(cache, graph, frontier))

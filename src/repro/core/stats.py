@@ -1,0 +1,59 @@
+"""Per-epoch measurement records shared by GNNDrive and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class StageBreakdown:
+    """Accumulated busy seconds per SET stage within one epoch.
+
+    Stage times may overlap in wall-clock (that is the point of the
+    pipeline), so they need not sum to the epoch time.
+    """
+
+    sample: float = 0.0
+    extract: float = 0.0
+    train: float = 0.0
+    release: float = 0.0
+    data_prep: float = 0.0  # MariusGNN's partition-ordering + preload
+
+    def total(self) -> float:
+        return (self.sample + self.extract + self.train + self.release
+                + self.data_prep)
+
+
+@dataclass
+class EpochStats:
+    """One epoch's outcome: timing, learning metrics, I/O counters."""
+
+    epoch: int
+    epoch_time: float
+    stages: StageBreakdown
+    loss: float = float("nan")
+    train_acc: float = float("nan")
+    val_acc: float = float("nan")
+    num_batches: int = 0
+    bytes_read: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Feature-buffer reuse: nodes served without an SSD load.
+    reused_nodes: int = 0
+    loaded_nodes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def reuse_ratio(self) -> float:
+        total = self.reused_nodes + self.loaded_nodes
+        return self.reused_nodes / total if total else 0.0
+
+
+def mean_epoch_time(stats: List[EpochStats],
+                    skip_first: bool = False) -> float:
+    """Average epoch time (optionally skipping the cold first epoch)."""
+    usable = stats[1:] if skip_first and len(stats) > 1 else stats
+    if not usable:
+        raise ValueError("no epochs to average")
+    return sum(s.epoch_time for s in usable) / len(usable)

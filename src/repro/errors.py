@@ -1,0 +1,65 @@
+"""Exception hierarchy for the GNNDrive reproduction.
+
+Every failure mode the paper's evaluation exercises (out-of-memory on
+over-committed hosts, out-of-time runs, misaligned direct I/O) has a
+dedicated exception so benchmarks can report ``OOM`` / ``OOT`` rows the
+same way Table 2 and Figures 9/10/14 do.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency inside the discrete-event engine."""
+
+
+class InterruptError(ReproError):
+    """A simulated process was interrupted by another process.
+
+    Attributes
+    ----------
+    cause:
+        The value passed to :meth:`repro.simcore.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class OutOfMemoryError(ReproError):
+    """A host- or device-memory allocation exceeded the configured budget.
+
+    Raised by :class:`repro.memory.HostMemory` and
+    :class:`repro.memory.DeviceMemory`; surfaced as the ``OOM`` entries in
+    the reproduced Table 2 and Figures 9/10/14.
+    """
+
+    def __init__(self, requested: int, available: int, where: str = "host"):
+        super().__init__(
+            f"OOM on {where} memory: requested {requested} B "
+            f"but only {available} B available"
+        )
+        self.requested = requested
+        self.available = available
+        self.where = where
+
+
+class OutOfTimeError(ReproError):
+    """A training run exceeded its simulated-time budget (``OOT``)."""
+
+    def __init__(self, budget: float):
+        super().__init__(f"OOT: exceeded simulated time budget of {budget} s")
+        self.budget = budget
+
+
+class AlignmentError(ReproError):
+    """A direct-I/O request violated the 512 B sector alignment rule."""
+
+
+class StorageError(ReproError):
+    """Out-of-range access or unknown file on the simulated device."""

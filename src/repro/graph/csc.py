@@ -1,0 +1,104 @@
+"""CSC adjacency matrix: the topology format every system samples from.
+
+For node ``v``, its in-neighbors are ``indices[indptr[v]:indptr[v+1]]``.
+The paper keeps ``indptr`` in host memory (< 1 GB even at full scale) and
+stores ``indices`` on the SSD; samplers fault index pages through the OS
+page cache.  :class:`CSCGraph` is the in-memory view used by the data
+plane; the on-SSD placement is handled by the dataset bundle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class CSCGraph:
+    """Immutable CSC topology with vectorized neighbor queries."""
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 num_nodes: int | None = None):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D")
+        if len(indptr) < 1:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if num_nodes is not None and num_nodes != n:
+            raise ValueError(f"num_nodes={num_nodes} but indptr implies {n}")
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("indices refer to out-of-range nodes")
+        self.indptr = indptr
+        self.indices = indices
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    def in_degree(self, nodes: np.ndarray | None = None) -> np.ndarray:
+        """In-degree per node (all nodes if *nodes* is None)."""
+        deg = np.diff(self.indptr)
+        return deg if nodes is None else deg[np.asarray(nodes, dtype=np.int64)]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """In-neighbors of one node (a view, do not mutate)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    def neighbor_slices(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(start, end) index ranges into ``indices`` for each node."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.indptr[nodes], self.indptr[nodes + 1]
+
+    def touched_index_bytes(self, nodes: np.ndarray, itemsize: int = 8) -> np.ndarray:
+        """Byte ranges of ``indices`` read when expanding *nodes*.
+
+        Returns an (n, 2) array of [start_byte, end_byte) per node — the
+        timing plane uses this to charge page faults for sampling.
+        """
+        starts, ends = self.neighbor_slices(nodes)
+        return np.stack([starts * itemsize, ends * itemsize], axis=1)
+
+    def gather_neighbors(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """All in-neighbors of *nodes*, concatenated.
+
+        Returns ``(flat_neighbors, counts)`` where ``counts[i]`` is the
+        degree of ``nodes[i]``.  Fully vectorized (no per-node Python
+        loop): builds one big gather index from the CSC slices.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts, ends = self.neighbor_slices(nodes)
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        # Offsets of each node's run inside the output.
+        out_offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        # flat[i] = indices[starts[run(i)] + (i - out_offsets[run(i)])]
+        idx = np.arange(total, dtype=np.int64)
+        run = np.repeat(np.arange(len(nodes)), counts)
+        gather = starts[run] + (idx - out_offsets[run])
+        return self.indices[gather], counts
+
+    # ------------------------------------------------------------------
+    def to_scipy(self):
+        """The adjacency as a ``scipy.sparse.csc_matrix`` (A[u, v]=1 for
+        edge u->v, column v lists in-neighbors)."""
+        from scipy.sparse import csc_matrix
+        data = np.ones(self.num_edges, dtype=np.float32)
+        return csc_matrix((data, self.indices, self.indptr),
+                          shape=(self.num_nodes, self.num_nodes))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CSCGraph(n={self.num_nodes}, m={self.num_edges})"

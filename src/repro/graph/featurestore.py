@@ -1,0 +1,66 @@
+"""Feature table stored on the simulated SSD in node-ID order (§4.1).
+
+"GNNDrive ... organizes each node's feature data in ascending order of
+node IDs to make a table."  The store owns the data-plane matrix and its
+catalog registration; readers (sync, async-ring, or page-cache paths)
+compute timing from the record layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.files import FileCatalog, FileHandle
+from repro.storage.spec import SECTOR_SIZE
+
+
+class FeatureStore:
+    """A (num_nodes, dim) float feature table as an on-SSD file."""
+
+    def __init__(self, features: np.ndarray, name: str = "features"):
+        features = np.ascontiguousarray(features)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (nodes x dim)")
+        self.features = features
+        self.name = name
+        self.handle: Optional[FileHandle] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def record_nbytes(self) -> int:
+        return self.features.shape[1] * self.features.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.features.nbytes
+
+    def io_size(self, direct: bool = True) -> int:
+        """Bytes moved per node read (sector-rounded under direct I/O).
+
+        §4.4: dims whose record size is not a sector multiple force
+        redundant data into the staging buffer; e.g. a 100 B record costs
+        a full 512 B read.
+        """
+        rec = self.record_nbytes
+        if direct and rec % SECTOR_SIZE:
+            rec = (rec // SECTOR_SIZE + 1) * SECTOR_SIZE
+        return rec
+
+    def mount(self, catalog: FileCatalog) -> FileHandle:
+        """Register the table as a file; returns (and caches) the handle."""
+        self.handle = catalog.create(self.name, data=self.features,
+                                     record_nbytes=self.record_nbytes)
+        return self.handle
+
+    def gather(self, node_ids: np.ndarray) -> np.ndarray:
+        """Data-plane read of the given rows (copy)."""
+        return self.features[np.asarray(node_ids, dtype=np.int64)]

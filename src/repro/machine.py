@@ -1,0 +1,159 @@
+"""The simulated machine: CPU, GPUs, DRAM, page cache, SSD, PCIe.
+
+One :class:`Machine` is the paper's testbed in miniature (§5 "Platform"):
+two Xeon CPUs (a pooled core resource), RTX 3090 GPUs with 24 GB device
+memory behind PCIe links, 32 GB host DRAM whose free portion is the OS
+page cache, and a PM883 SATA SSD.  All systems under test run as
+processes on one machine instance, so contention (device queues, page
+cache, CPU cores) is shared exactly as on real hardware.
+
+Budgets are *scaled*: the mini datasets are ~1/1000 of paper scale, so
+``MachineSpec.paper_scaled`` shrinks the memory budgets by the same
+factor, preserving every capacity ratio the experiments stress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Generator, List, Optional
+
+from repro.memory import DeviceMemory, HostMemory, PCIeLink
+from repro.models.costmodel import (
+    CPU_XEON,
+    ComputeCostModel,
+    DeviceProfile,
+    GPU_RTX3090,
+)
+from repro.simcore import IntervalRecorder, Simulator, UtilizationProbe
+from repro.simcore.resources import Resource
+from repro.simcore.tracing import SpanTracer
+from repro.storage import FileCatalog, PageCache, SSDDevice, SSDSpec, PM883
+
+#: Data scale of the mini datasets relative to the paper's (Table 1).
+DEFAULT_SCALE = 1e-3
+
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware configuration of a simulated machine."""
+
+    host_capacity: int
+    host_reserve: int = 0
+    cpu_cores: int = 16
+    num_gpus: int = 1
+    #: Device memory scales by 1/250 rather than 1/1000: feature records
+    #: keep their real byte size (dim x 4 B does not shrink with graph
+    #: scale), and no experiment sweeps GPU memory, so a laxer budget
+    #: preserves every result shape while letting 768-dim feature
+    #: buffers fit.  See DESIGN.md §1.
+    gpu_capacity: int = int(24 * GB * DEFAULT_SCALE * 4)
+    ssd: SSDSpec = PM883
+    pcie_bandwidth: float = 12e9
+    pcie_latency: float = 10e-6
+    gpu_profile: DeviceProfile = GPU_RTX3090
+    cpu_profile: DeviceProfile = CPU_XEON
+    #: Multiplier on per-edge/per-node sampling compute costs; >1 models
+    #: older, slower CPUs (the Fig. 13 machine's 2012-era Xeons).
+    sample_cost_scale: float = 1.0
+
+    @staticmethod
+    def paper_scaled(host_gb: float = 32, scale: float = DEFAULT_SCALE,
+                     **overrides) -> "MachineSpec":
+        """The paper's machine with memory budgets scaled to mini data.
+
+        ``host_gb`` is the *paper-scale* DRAM (the Fig. 9 sweep uses
+        8-128); the actual simulated budget is ``host_gb * scale``.
+        """
+        base = MachineSpec(
+            host_capacity=int(host_gb * GB * scale),
+            gpu_capacity=int(24 * GB * scale * 4),
+        )
+        return replace(base, **overrides) if overrides else base
+
+
+class Machine:
+    """A live simulated machine; create one per experiment run."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self.sim = Simulator()
+        self.host = HostMemory(spec.host_capacity, spec.host_reserve)
+        self.ssd = SSDDevice(self.sim, spec.ssd)
+        self.catalog = FileCatalog()
+        self.page_cache = PageCache(self.sim, self.host, self.ssd)
+        self.cpu = Resource(self.sim, spec.cpu_cores, "cpu")
+        self.gpus: List[DeviceMemory] = [
+            DeviceMemory(spec.gpu_capacity, name=f"gpu{i}")
+            for i in range(spec.num_gpus)
+        ]
+        self.pcie: List[PCIeLink] = [
+            PCIeLink(self.sim, spec.pcie_bandwidth, spec.pcie_latency,
+                     name=f"pcie{i}")
+            for i in range(spec.num_gpus)
+        ]
+        self.probe = UtilizationProbe(self.sim, cpu_capacity=spec.cpu_cores,
+                                      gpu_capacity=max(1, spec.num_gpus))
+        self.gpu_busy: List[IntervalRecorder] = [
+            IntervalRecorder(self.sim, 1, f"gpu{i}")
+            for i in range(spec.num_gpus)
+        ]
+        #: Optional span tracer (see :meth:`enable_tracing`).
+        self.tracer: Optional[SpanTracer] = None
+        k = spec.sample_cost_scale
+        self.gpu_cost = ComputeCostModel(spec.gpu_profile)
+        self.cpu_cost = ComputeCostModel(
+            spec.cpu_profile,
+            sample_edge_cost=8e-6 * k,
+            sample_node_cost=2e-6 * k)
+
+    def enable_tracing(self, process_name: str = "simulated-machine"
+                       ) -> SpanTracer:
+        """Attach a span tracer; actors record per-stage spans into it.
+
+        Export with ``machine.tracer.write("trace.json")`` and open in
+        chrome://tracing / Perfetto.
+        """
+        self.tracer = SpanTracer(process_name)
+        return self.tracer
+
+    # ------------------------------------------------------------------
+    # Process helpers: yield from these inside actor generators.
+    # ------------------------------------------------------------------
+    def cpu_task(self, duration: float) -> Generator:
+        """Occupy one CPU core for *duration* simulated seconds."""
+        yield self.cpu.request()
+        self.probe.cpu.enter()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.probe.cpu.exit()
+            self.cpu.release()
+
+    def gpu_task(self, gpu_id: int, duration: float) -> Generator:
+        """Occupy one GPU for *duration* (exclusive per GPU)."""
+        rec = self.gpu_busy[gpu_id]
+        rec.enter()
+        self.probe.gpu.enter()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.probe.gpu.exit()
+            rec.exit()
+
+    def io_wait(self, event) -> Generator:
+        """Block on an I/O event, counted as iowait in the probe."""
+        self.probe.io.enter()
+        try:
+            value = yield event
+        finally:
+            self.probe.io.exit()
+        return value
+
+    # ------------------------------------------------------------------
+    def utilization_snapshot(self, start: float, end: float,
+                             buckets: int = 30):
+        """CPU/GPU/iowait series (the Fig. 3 / Fig. 11 panels)."""
+        return self.probe.snapshot(start, end, buckets)
+

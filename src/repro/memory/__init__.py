@@ -1,0 +1,15 @@
+"""Simulated memory system: host DRAM, GPU device memory, PCIe link.
+
+The host-memory accountant is the mechanism behind the paper's
+memory-contention observation (𝔒1): pinned allocations (staging buffers,
+caches, model state) and the OS page cache share one physical budget, so
+growing one squeezes the other.  The device-memory model bounds GNNDrive's
+feature buffer / training-queue depth exactly as §4.2 describes, and the
+PCIe link provides the asynchronous host→device copies of the extraction
+second phase.
+"""
+
+from repro.memory.host import Allocation, HostMemory
+from repro.memory.device import DeviceMemory, PCIeLink
+
+__all__ = ["Allocation", "HostMemory", "DeviceMemory", "PCIeLink"]

@@ -1,0 +1,132 @@
+"""Host DRAM accounting with Linux-like free-memory-as-page-cache semantics.
+
+All *pinned* consumers (anonymous process memory, staging buffers, Ginex's
+caches, MariusGNN's partition buffer, model parameters) allocate through
+:class:`HostMemory`.  Whatever is left over is the page cache's budget —
+exactly how Linux sizes its page cache — so when the extract stage maps
+large feature files, topology pages get evicted and sampling slows down.
+That coupling is the paper's Figure 2 in mechanism form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import OutOfMemoryError
+
+
+@dataclass
+class Allocation:
+    """A live pinned allocation; free it via :meth:`HostMemory.free`."""
+
+    nbytes: int
+    tag: str
+    alloc_id: int
+    freed: bool = False
+
+
+class HostMemory:
+    """A byte-budgeted host DRAM model.
+
+    Parameters
+    ----------
+    capacity:
+        Total physical bytes (the paper's default machine has 32 GB; the
+        scaled datasets use a proportionally scaled budget).
+    reserve:
+        Bytes the OS and runtime always keep (never available to either
+        pinned allocations or page cache).
+    """
+
+    def __init__(self, capacity: int, reserve: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= reserve < capacity:
+            raise ValueError(f"reserve must be in [0, capacity), got {reserve}")
+        self.capacity = int(capacity)
+        self.reserve = int(reserve)
+        self._pinned = 0
+        self._next_id = 0
+        self._live: Dict[int, Allocation] = {}
+        self._by_tag: Dict[str, int] = {}
+        #: Called after every pinned-size change, e.g. by the page cache to
+        #: shrink itself under pressure.
+        self._pressure_listeners: List[Callable[[], None]] = []
+        self.peak_pinned = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pinned_bytes(self) -> int:
+        """Total bytes currently pinned by allocations."""
+        return self._pinned
+
+    @property
+    def available(self) -> int:
+        """Bytes available for new pinned allocations (incl. reclaimable cache)."""
+        return self.capacity - self.reserve - self._pinned
+
+    def cache_budget(self) -> int:
+        """Bytes the OS page cache may occupy right now (free memory)."""
+        return max(0, self.capacity - self.reserve - self._pinned)
+
+    def usage_by_tag(self) -> Dict[str, int]:
+        """Pinned bytes per allocation tag, for memory-footprint reports."""
+        return dict(self._by_tag)
+
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int, tag: str = "anon") -> Allocation:
+        """Pin *nbytes*; raises :class:`OutOfMemoryError` on over-commit.
+
+        Page cache contents do not block an allocation (the kernel reclaims
+        clean pages); listeners are notified so caches can shrink.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if nbytes > self.available:
+            raise OutOfMemoryError(nbytes, self.available, where="host")
+        self._next_id += 1
+        alloc = Allocation(nbytes, tag, self._next_id)
+        self._live[alloc.alloc_id] = alloc
+        self._pinned += nbytes
+        self._by_tag[tag] = self._by_tag.get(tag, 0) + nbytes
+        self.peak_pinned = max(self.peak_pinned, self._pinned)
+        self._notify()
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a pinned allocation (idempotent per allocation)."""
+        if alloc.freed:
+            return
+        if alloc.alloc_id not in self._live:
+            raise KeyError(f"unknown allocation {alloc.alloc_id}")
+        del self._live[alloc.alloc_id]
+        self._pinned -= alloc.nbytes
+        self._by_tag[alloc.tag] -= alloc.nbytes
+        if self._by_tag[alloc.tag] == 0:
+            del self._by_tag[alloc.tag]
+        alloc.freed = True
+        self._notify()
+
+    def resize(self, alloc: Allocation, nbytes: int) -> None:
+        """Grow or shrink a live allocation in place."""
+        if alloc.freed:
+            raise KeyError("resize of freed allocation")
+        delta = int(nbytes) - alloc.nbytes
+        if delta > self.available:
+            raise OutOfMemoryError(delta, self.available, where="host")
+        self._pinned += delta
+        self._by_tag[alloc.tag] += delta
+        alloc.nbytes = int(nbytes)
+        self.peak_pinned = max(self.peak_pinned, self._pinned)
+        self._notify()
+
+    # ------------------------------------------------------------------
+    def add_pressure_listener(self, fn: Callable[[], None]) -> None:
+        """Register a callback invoked after any pinned-size change."""
+        self._pressure_listeners.append(fn)
+
+    def _notify(self) -> None:
+        for fn in self._pressure_listeners:
+            fn()

@@ -1,0 +1,89 @@
+"""Training-state checkpointing: save/resume a model + optimizer.
+
+Disk-based training runs for many epochs; a production release needs
+restartability.  Checkpoints are ``.npz`` files holding the model's
+named parameters plus the Adam/SGD internal state, with a small JSON
+header validating model compatibility on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.module import Module
+from repro.models.optim import Adam, Optimizer, SGD
+
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(path: str, model: Module, optimizer: Optional[Optimizer] = None,
+                    epoch: int = 0, extra: Optional[dict] = None) -> None:
+    """Serialise model parameters (+ optimizer state) to *path* (.npz)."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, p in model.named_parameters():
+        arrays[f"param/{name}"] = p.data
+    header = {
+        "version": FORMAT_VERSION,
+        "epoch": epoch,
+        "model_kind": getattr(model, "kind", "unknown"),
+        "num_parameters": model.num_parameters(),
+        "optimizer": None,
+        "extra": extra or {},
+    }
+    if optimizer is not None:
+        if isinstance(optimizer, Adam):
+            header["optimizer"] = {"type": "adam", "lr": optimizer.lr,
+                                   "t": optimizer._t,
+                                   "b1": optimizer.b1, "b2": optimizer.b2}
+            for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+                arrays[f"adam_m/{i}"] = m
+                arrays[f"adam_v/{i}"] = v
+        elif isinstance(optimizer, SGD):
+            header["optimizer"] = {"type": "sgd", "lr": optimizer.lr,
+                                   "momentum": optimizer.momentum}
+            if optimizer._velocity is not None:
+                for i, vel in enumerate(optimizer._velocity):
+                    arrays[f"sgd_v/{i}"] = vel
+        else:
+            raise TypeError(f"unsupported optimizer {type(optimizer)}")
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str, model: Module,
+                    optimizer: Optional[Optimizer] = None) -> dict:
+    """Restore *model* (and optionally *optimizer*) in place.
+
+    Returns the checkpoint header (epoch, extra metadata).  Raises on
+    architecture mismatch.
+    """
+    with np.load(path) as data:
+        header = json.loads(bytes(data["__header__"]).decode())
+        if header["version"] != FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version "
+                             f"{header['version']}")
+        state = {name[len("param/"):]: data[name]
+                 for name in data.files if name.startswith("param/")}
+        model.load_state_dict(state)
+        if optimizer is not None and header["optimizer"] is not None:
+            opt_h = header["optimizer"]
+            optimizer.lr = opt_h["lr"]
+            if opt_h["type"] == "adam":
+                if not isinstance(optimizer, Adam):
+                    raise TypeError("checkpoint holds Adam state but "
+                                    "optimizer is not Adam")
+                optimizer._t = opt_h["t"]
+                for i in range(len(optimizer._m)):
+                    optimizer._m[i][...] = data[f"adam_m/{i}"]
+                    optimizer._v[i][...] = data[f"adam_v/{i}"]
+            elif opt_h["type"] == "sgd" and isinstance(optimizer, SGD):
+                keys = [k for k in data.files if k.startswith("sgd_v/")]
+                if keys:
+                    optimizer._velocity = [
+                        data[f"sgd_v/{i}"].copy() for i in range(len(keys))
+                    ]
+    return header

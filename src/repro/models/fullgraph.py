@@ -1,0 +1,83 @@
+"""Whole-graph (full-batch) training — the paper's §6 future work.
+
+"Whole-graph training divides a large graph into partitions and trains
+GNN models on all nodes or edges simultaneously... it is likely to
+severely suffer from memory contention, I/O congestion, and furthermore
+issues."  This module provides the building block: a *full-graph
+computation graph* that reuses the existing sampled-subgraph machinery
+(every layer's adjacency is the complete edge set), so GraphSAGE/GCN/GAT
+run full-batch unchanged.
+
+The memory arithmetic demonstrates §6's point by construction:
+activations scale with *all* nodes x hidden width, so anything beyond a
+toy graph OOMs a single device — exactly why whole-graph training needs
+the multi-machine/multi-GPU treatment the paper defers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csc import CSCGraph
+from repro.sampling.subgraph import LayerAdj, SampledSubgraph
+
+
+def full_graph_subgraph(graph: CSCGraph, num_layers: int,
+                        train_idx: Optional[np.ndarray] = None,
+                        ) -> SampledSubgraph:
+    """The whole graph as a :class:`SampledSubgraph`.
+
+    Node order is permuted so the loss targets (*train_idx*, or all
+    nodes) come first, satisfying the prefix layout: inner layers span
+    all nodes; the outermost layer narrows its destinations to the
+    targets.
+
+    Returns a subgraph usable by any model in :mod:`repro.models` —
+    full-batch training through the same forward/backward code path as
+    sampled training.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    n = graph.num_nodes
+    if train_idx is None:
+        order = np.arange(n, dtype=np.int64)
+        num_targets = n
+    else:
+        train_idx = np.unique(np.asarray(train_idx, dtype=np.int64))
+        rest = np.setdiff1d(np.arange(n, dtype=np.int64), train_idx,
+                            assume_unique=True)
+        order = np.concatenate([train_idx, rest])
+        num_targets = len(train_idx)
+    # position[v] = index of global node v in `order`.
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n, dtype=np.int64)
+
+    dst_global = np.repeat(np.arange(n, dtype=np.int64),
+                           np.diff(graph.indptr))
+    src_pos = position[graph.indices]
+    dst_pos = position[dst_global]
+
+    full = LayerAdj(src_pos, dst_pos, n, n)
+    layers = [full] * max(0, num_layers - 1)
+    # Outermost layer: only edges into the targets.
+    mask = dst_pos < num_targets
+    layers.append(LayerAdj(src_pos[mask], dst_pos[mask], n, num_targets))
+
+    return SampledSubgraph(
+        seeds=order[:num_targets],
+        all_nodes=order,
+        layers=layers,
+        hop_frontiers=[order[:num_targets]] + [order] * (num_layers - 1),
+    )
+
+
+def full_graph_activation_bytes(num_nodes: int, dims,
+                                float_bytes: int = 4) -> int:
+    """Activation + gradient footprint of one full-batch pass.
+
+    ``2 * n * sum(hidden widths) * 4`` — the quantity that makes
+    whole-graph training a multi-device problem (§6).
+    """
+    return int(2 * num_nodes * sum(dims) * float_bytes)

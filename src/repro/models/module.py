@@ -1,0 +1,102 @@
+"""Parameter containers and the Linear layer."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor, add, matmul
+
+
+class Parameter(Tensor):
+    """A leaf tensor updated by an optimizer."""
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        super().__init__(np.asarray(data, dtype=np.float32),
+                         requires_grad=True, name=name)
+
+
+def glorot(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init."""
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+class Module:
+    """Minimal parameter-registry base class."""
+
+    def __init__(self):
+        self._params: Dict[str, Parameter] = {}
+        self._children: Dict[str, "Module"] = {}
+        self.training = True
+
+    def register(self, name: str, param: Parameter) -> Parameter:
+        self._params[name] = param
+        param.name = param.name or name
+        return param
+
+    def add_child(self, name: str, module: "Module") -> "Module":
+        self._children[name] = module
+        return module
+
+    def parameters(self) -> List[Parameter]:
+        out = list(self._params.values())
+        for child in self._children.values():
+            out.extend(child.parameters())
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._params.items():
+            yield f"{prefix}{name}", p
+        for cname, child in self._children.items():
+            yield from child.named_parameters(f"{prefix}{cname}.")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> None:
+        self.training = True
+        for c in self._children.values():
+            c.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for c in self._children.values():
+            c.eval()
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        mine = dict(self.named_parameters())
+        if set(mine) != set(state):
+            raise KeyError("state dict keys do not match module parameters")
+        for name, value in state.items():
+            if mine[name].data.shape != value.shape:
+                raise ValueError(f"shape mismatch for {name!r}")
+            mine[name].data = value.astype(np.float32, copy=True)
+
+
+class Linear(Module):
+    """y = x @ W + b."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.weight = self.register("weight", Parameter(glorot((in_dim, out_dim), rng)))
+        self.bias = (self.register("bias", Parameter(np.zeros(out_dim)))
+                     if bias else None)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = matmul(x, self.weight)
+        if self.bias is not None:
+            out = add(out, self.bias)
+        return out

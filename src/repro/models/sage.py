@@ -1,0 +1,85 @@
+"""GraphSAGE (Hamilton et al., 2017) with selectable aggregation.
+
+Layer ``l``:  h_dst = ReLU(W_self . h_dst_prev + W_neigh . AGG(h_neighbors))
+where ``h_dst_prev = h_src[:num_dst]`` thanks to the prefix layout of
+:class:`repro.sampling.SampledSubgraph`.
+
+The original paper offers several aggregation functions (§2 of GNNDrive:
+"mean, max, sum, or more advanced functions"); this implementation
+supports ``mean`` (the evaluation default), ``max`` (element-wise
+max-pool), and ``sum``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.module import Linear, Module
+from repro.sampling.subgraph import SampledSubgraph
+from repro.tensor import (
+    Tensor,
+    add,
+    gather_rows,
+    relu,
+    segment_max_aggregate,
+    spmm,
+)
+
+AGGREGATORS = ("mean", "max", "sum")
+
+
+class SAGELayer(Module):
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 aggr: str = "mean"):
+        super().__init__()
+        if aggr not in AGGREGATORS:
+            raise ValueError(f"aggr must be one of {AGGREGATORS}, "
+                             f"got {aggr!r}")
+        self.aggr = aggr
+        self.self_lin = self.add_child("self_lin", Linear(in_dim, out_dim, rng))
+        self.neigh_lin = self.add_child("neigh_lin", Linear(in_dim, out_dim, rng, bias=False))
+
+    def __call__(self, h_src: Tensor, layer_adj) -> Tensor:
+        h_self = gather_rows(h_src, np.arange(layer_adj.num_dst))
+        if self.aggr == "mean":
+            agg = spmm(layer_adj.mean_matrix(), h_src)
+        elif self.aggr == "sum":
+            agg = spmm(layer_adj.sum_matrix(), h_src)
+        else:  # max
+            agg = segment_max_aggregate(h_src, layer_adj.src_pos,
+                                        layer_adj.dst_pos,
+                                        layer_adj.num_dst)
+        return add(self.self_lin(h_self), self.neigh_lin(agg))
+
+
+class GraphSAGE(Module):
+    """Stacked SAGE layers; ReLU between layers, raw logits at the top."""
+
+    kind = "sage"
+
+    def __init__(self, in_dim: int, hidden_dim: int, num_classes: int,
+                 num_layers: int, rng: np.random.Generator,
+                 aggr: str = "mean"):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        self.num_layers = num_layers
+        self.aggr = aggr
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        self.layers = [
+            self.add_child(f"layer{i}",
+                           SAGELayer(dims[i], dims[i + 1], rng, aggr=aggr))
+            for i in range(num_layers)
+        ]
+
+    def __call__(self, features: Tensor, subgraph: SampledSubgraph) -> Tensor:
+        if len(subgraph.layers) != self.num_layers:
+            raise ValueError(
+                f"subgraph has {len(subgraph.layers)} hops but model has "
+                f"{self.num_layers} layers")
+        h = features
+        for i, layer_adj in enumerate(subgraph.layers):
+            h = self.layers[i](h, layer_adj)
+            if i < self.num_layers - 1:
+                h = relu(h)
+        return h

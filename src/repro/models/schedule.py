@@ -1,0 +1,108 @@
+"""Learning-rate schedules and early stopping.
+
+Standard trainer utilities a release of this system would ship: step
+decay, cosine annealing with warmup, and a patience-based early stopper
+for the time-to-accuracy experiments (Fig. 14 runs converge-and-stop).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.models.optim import Optimizer
+
+
+class LRScheduler:
+    """Base: mutates ``optimizer.lr`` on each :meth:`step` (per epoch)."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        lr = self._lr_at(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by *gamma* every *step_size* epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing to *min_lr* over *total_epochs*, with warmup."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0, warmup_epochs: int = 0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if warmup_epochs < 0 or warmup_epochs >= total_epochs:
+            raise ValueError("warmup_epochs must be in [0, total_epochs)")
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.warmup_epochs = warmup_epochs
+
+    def _lr_at(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        span = self.total_epochs - self.warmup_epochs
+        progress = min(1.0, (epoch - self.warmup_epochs) / span)
+        return (self.min_lr + (self.base_lr - self.min_lr)
+                * 0.5 * (1 + math.cos(math.pi * progress)))
+
+
+class EarlyStopping:
+    """Stop when validation accuracy stops improving.
+
+    >>> stopper = EarlyStopping(patience=2)
+    >>> [stopper.update(a) for a in (0.5, 0.6, 0.59, 0.58)]
+    [False, False, False, True]
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.best_epoch = -1
+        self.bad_epochs = 0
+        self._epoch = -1
+
+    @property
+    def should_stop(self) -> bool:
+        return self.bad_epochs >= self.patience
+
+    def update(self, metric: float) -> bool:
+        """Feed one epoch's validation metric; returns should_stop."""
+        self._epoch += 1
+        if self.best is None or metric > self.best + self.min_delta:
+            self.best = metric
+            self.best_epoch = self._epoch
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+        return self.should_stop

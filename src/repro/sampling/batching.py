@@ -1,0 +1,71 @@
+"""Mini-batch planning: shuffles, batches, superbatches, segments.
+
+* Plain batches drive PyG+ and GNNDrive.
+* *Superbatches* (bundles of ~1500 mini-batches) drive Ginex's
+  inspect-then-extract schedule (§2).
+* *Segments* split the training set across data-parallel subprocesses for
+  multi-GPU GNNDrive (§4.3 — "divides the entire training set into
+  segments for subprocesses to execute").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class MinibatchPlan:
+    """Deterministic epoch-by-epoch mini-batch schedule."""
+
+    def __init__(self, train_idx: np.ndarray, batch_size: int,
+                 rng: np.random.Generator, shuffle: bool = True,
+                 drop_last: bool = False):
+        train_idx = np.asarray(train_idx, dtype=np.int64)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if len(train_idx) == 0:
+            raise ValueError("empty training set")
+        self.train_idx = train_idx
+        self.batch_size = int(batch_size)
+        self.rng = rng
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+
+    @property
+    def num_batches(self) -> int:
+        n = len(self.train_idx)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def epoch_batches(self) -> List[np.ndarray]:
+        """The mini-batches of one epoch (advances the shuffle RNG)."""
+        idx = self.train_idx
+        if self.shuffle:
+            idx = idx[self.rng.permutation(len(idx))]
+        out = []
+        stop = self.num_batches * self.batch_size if self.drop_last else len(idx)
+        for s in range(0, stop, self.batch_size):
+            out.append(idx[s:s + self.batch_size])
+        return out
+
+    def superbatches(self, superbatch_size: int) -> List[List[np.ndarray]]:
+        """Group one epoch's batches into Ginex-style superbatches."""
+        if superbatch_size < 1:
+            raise ValueError("superbatch_size must be >= 1")
+        batches = self.epoch_batches()
+        return [batches[s:s + superbatch_size]
+                for s in range(0, len(batches), superbatch_size)]
+
+
+def split_segments(train_idx: np.ndarray, num_segments: int,
+                   rng: np.random.Generator) -> List[np.ndarray]:
+    """Shuffle then split the training set into near-equal segments."""
+    if num_segments < 1:
+        raise ValueError("num_segments must be >= 1")
+    train_idx = np.asarray(train_idx, dtype=np.int64)
+    if num_segments > len(train_idx):
+        raise ValueError("more segments than training nodes")
+    perm = train_idx[rng.permutation(len(train_idx))]
+    return [np.sort(chunk) for chunk in np.array_split(perm, num_segments)]

@@ -1,0 +1,92 @@
+"""Alternative sampling policies (§4.4).
+
+"The sampler in GNNDrive supports various sampling policies and
+domain-specific node caching methods with high adaptability."  These
+policies plug into the same :class:`NeighborSampler` machinery — the
+systems only see :class:`SampledSubgraph`, so any policy composes with
+any system:
+
+* :class:`WeightedNeighborSampler` — neighbors drawn proportionally to
+  arbitrary per-node weights (exact categorical sampling, vectorized
+  over variable-length adjacency runs via a global cumulative-weight
+  array and ``searchsorted``).
+* :class:`DegreeBiasedSampler` — the common importance heuristic:
+  weight = (out-degree)^alpha, concentrating the frontier on hubs.
+* :func:`cache_biased_weights` — AliGraph-style node caching: boost the
+  draw probability of "hot" (cached) nodes so extraction hits the
+  cache more often, trading sampling fidelity for I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.csc import CSCGraph
+from repro.sampling.neighbor import NeighborSampler
+
+
+class WeightedNeighborSampler(NeighborSampler):
+    """Neighbor draws proportional to per-node weights.
+
+    Parameters
+    ----------
+    node_weights:
+        Strictly positive weight per node; a neighbor *u* of *v* is
+        drawn with probability ``w[u] / sum(w[u'] for u' in N(v))``.
+    """
+
+    def __init__(self, graph: CSCGraph, fanouts: Sequence[int],
+                 rng: np.random.Generator, node_weights: np.ndarray):
+        super().__init__(graph, fanouts, rng)
+        node_weights = np.asarray(node_weights, dtype=np.float64)
+        if node_weights.shape != (graph.num_nodes,):
+            raise ValueError("node_weights must have one entry per node")
+        if (node_weights <= 0).any():
+            raise ValueError("node_weights must be strictly positive")
+        self.node_weights = node_weights
+        # Global prefix sums of per-edge weights: the cumulative weight
+        # inside any adjacency run [s, e) is cum[e] - cum[s].
+        edge_w = node_weights[graph.indices]
+        self._cum = np.concatenate([[0.0], np.cumsum(edge_w)])
+
+    def _draw(self, active_pos: np.ndarray, starts: np.ndarray,
+              ends: np.ndarray, fanout: int) -> np.ndarray:
+        s = starts[active_pos]
+        e = ends[active_pos]
+        base = self._cum[s]
+        total = self._cum[e] - base
+        u = self.rng.random((len(active_pos), fanout))
+        targets = base[:, None] + u * total[:, None]
+        # Exact categorical draw: position of the target in the global
+        # prefix-sum array, clipped into the run.
+        pos = np.searchsorted(self._cum, targets, side="right") - 1
+        return np.clip(pos, s[:, None], (e - 1)[:, None])
+
+
+class DegreeBiasedSampler(WeightedNeighborSampler):
+    """Importance sampling toward hubs: weight = (out_degree + 1)^alpha."""
+
+    def __init__(self, graph: CSCGraph, fanouts: Sequence[int],
+                 rng: np.random.Generator, alpha: float = 0.75):
+        out_deg = np.bincount(graph.indices, minlength=graph.num_nodes)
+        weights = (out_deg + 1.0) ** float(alpha)
+        super().__init__(graph, fanouts, rng, weights)
+        self.alpha = float(alpha)
+
+
+def cache_biased_weights(graph: CSCGraph, hot_nodes: np.ndarray,
+                         boost: float = 4.0) -> np.ndarray:
+    """Node weights that prefer a hot (cached) node set.
+
+    Use with :class:`WeightedNeighborSampler` to realise a
+    caching-aware policy: sampled frontiers skew toward *hot_nodes*, so
+    feature extraction hits whatever cache holds them (GNNDrive's
+    feature buffer, Ginex's feature cache, ...).
+    """
+    if boost <= 0:
+        raise ValueError("boost must be positive")
+    weights = np.ones(graph.num_nodes, dtype=np.float64)
+    weights[np.asarray(hot_nodes, dtype=np.int64)] = boost
+    return weights

@@ -1,0 +1,130 @@
+"""Sampled-subgraph representation shared by all systems and models.
+
+Layout convention (PyG NeighborSampler style): node sets grow inward,
+``N_0`` = seeds, ``N_{l+1}`` = ``N_l`` followed by the new nodes sampled
+at hop ``l+1``.  Because each outer set is a *prefix* of the next inner
+set, a model layer can read its self-features as ``h_src[:num_dst]``.
+
+``all_nodes`` (the deepest set) is exactly "the sampled node list" that
+GNNDrive's samplers enqueue for extraction (§4.1 step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class LayerAdj:
+    """Bipartite sampled edges for one model layer.
+
+    ``src_pos[e] -> dst_pos[e]`` with positions into the inner (source)
+    and outer (destination) node sets; ``N_dst == N_src[:num_dst]``.
+    Multi-edges are allowed (uniform sampling with replacement) and act
+    as aggregation weights.
+    """
+
+    src_pos: np.ndarray
+    dst_pos: np.ndarray
+    num_src: int
+    num_dst: int
+
+    def __post_init__(self):
+        if len(self.src_pos) != len(self.dst_pos):
+            raise ValueError("src/dst edge arrays differ in length")
+        if self.num_dst > self.num_src:
+            raise ValueError("dst set must be a prefix of src set")
+        if len(self.src_pos):
+            if self.src_pos.max() >= self.num_src or self.src_pos.min() < 0:
+                raise ValueError("src positions out of range")
+            if self.dst_pos.max() >= self.num_dst or self.dst_pos.min() < 0:
+                raise ValueError("dst positions out of range")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src_pos)
+
+    def mean_matrix(self) -> sp.csr_matrix:
+        """Row-normalised aggregation operator (num_dst x num_src).
+
+        Rows with no sampled in-edges are zero (their self path still
+        contributes through the model's self weight).
+        """
+        deg = np.bincount(self.dst_pos, minlength=self.num_dst).astype(np.float32)
+        weights = 1.0 / np.maximum(deg[self.dst_pos], 1.0)
+        return sp.csr_matrix(
+            (weights, (self.dst_pos, self.src_pos)),
+            shape=(self.num_dst, self.num_src),
+        )
+
+    def sum_matrix(self) -> sp.csr_matrix:
+        """Unnormalised aggregation operator (num_dst x num_src)."""
+        weights = np.ones(len(self.src_pos), dtype=np.float32)
+        return sp.csr_matrix(
+            (weights, (self.dst_pos, self.src_pos)),
+            shape=(self.num_dst, self.num_src),
+        )
+
+    def gcn_matrix(self) -> sp.csr_matrix:
+        """Symmetric-normalised GCN operator with implicit self-loops.
+
+        Uses sampled degrees: weight(u->v) = 1/sqrt((d_v+1)(d_u_out+1)),
+        plus a self-loop of 1/(d_v+1) on the prefix nodes.
+        """
+        d_dst = np.bincount(self.dst_pos, minlength=self.num_dst).astype(np.float32)
+        d_src_out = np.bincount(self.src_pos, minlength=self.num_src).astype(np.float32)
+        w = 1.0 / np.sqrt((d_dst[self.dst_pos] + 1.0)
+                          * (d_src_out[self.src_pos] + 1.0))
+        rows = np.concatenate([self.dst_pos,
+                               np.arange(self.num_dst, dtype=np.int64)])
+        cols = np.concatenate([self.src_pos,
+                               np.arange(self.num_dst, dtype=np.int64)])
+        vals = np.concatenate([w, 1.0 / (d_dst + 1.0)]).astype(np.float32)
+        return sp.csr_matrix((vals, (rows, cols)),
+                             shape=(self.num_dst, self.num_src))
+
+
+@dataclass
+class SampledSubgraph:
+    """A mini-batch's sampled computation graph.
+
+    Attributes
+    ----------
+    seeds:
+        Global node ids of the training targets (== ``all_nodes[:len]``).
+    all_nodes:
+        Global ids of every node whose features the batch needs (the
+        extraction list), deepest layer's set.
+    layers:
+        ``layers[0]`` is the *innermost* hop (consumed first in the
+        forward pass); ``layers[-1]`` produces the seed embeddings.
+    hop_frontiers:
+        Node ids expanded at each hop (for the sampler's topology-I/O
+        accounting): ``hop_frontiers[h]`` are the nodes whose adjacency
+        lists hop *h* read.
+    """
+
+    seeds: np.ndarray
+    all_nodes: np.ndarray
+    layers: List[LayerAdj]
+    hop_frontiers: List[np.ndarray]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def num_sampled_nodes(self) -> int:
+        return len(self.all_nodes)
+
+    def total_edges(self) -> int:
+        return sum(l.num_edges for l in self.layers)
+
+    def layer_sizes(self) -> List[Tuple[int, int, int]]:
+        """(num_src, num_dst, num_edges) per layer, innermost first —
+        the inputs to the compute-cost model."""
+        return [(l.num_src, l.num_dst, l.num_edges) for l in self.layers]

@@ -1,0 +1,314 @@
+"""Core event loop, events, and generator-coroutine processes.
+
+The engine is a priority-queue-driven discrete-event simulator.  Time is a
+float (seconds of simulated wall-clock).  Determinism is guaranteed by a
+monotonically increasing tiebreaker on the event heap, so two runs with the
+same seeds produce identical traces.
+
+Processes are plain Python generators that ``yield`` :class:`Event` objects;
+the engine resumes a process when the event it waits on fires, sending the
+event's value into the generator (or throwing the event's exception).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import InterruptError, SimulationError
+
+#: Sentinel for "this event has not been triggered yet".
+PENDING = object()
+
+#: Scheduling priorities: URGENT events (interrupts) preempt NORMAL events
+#: scheduled for the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled on the heap with a value or an exception), and *processed*
+    (its callbacks have run).  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result; raises if read before the event triggers."""
+        if self._value is PENDING:
+            raise SimulationError("value of untriggered event")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with *value* at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, priority)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay; the workhorse of all timing."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    The process object doubles as an event that triggers when the generator
+    terminates: its value is the generator's return value (or the unhandled
+    exception, if the generator raised and nobody waits on the process the
+    exception propagates out of :meth:`Simulator.run`).
+    """
+
+    __slots__ = ("gen", "name", "_wait_token", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process requires a generator, got {gen!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        #: Incremented whenever the process switches the event it waits on,
+        #: so callbacks from stale events become no-ops (needed for
+        #: interrupt support).
+        self._wait_token = 0
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current simulation time.
+        boot = Event(sim)
+        boot.succeed(None, priority=URGENT)
+        boot.callbacks.append(self._make_resume(self._wait_token))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process immediately.
+
+        The process must currently be waiting on an event; the pending wait
+        is abandoned (its eventual firing is ignored).
+        """
+        if not self.is_alive:
+            return
+        self._wait_token += 1  # invalidate the outstanding wait
+        token = self._wait_token
+        kick = Event(self.sim)
+        kick.fail(InterruptError(cause), priority=URGENT)
+        kick.callbacks.append(self._make_resume(token))
+
+    def _make_resume(self, token: int) -> Callable[[Event], None]:
+        def resume(event: Event) -> None:
+            if token != self._wait_token or not self.is_alive:
+                return  # stale wake-up (e.g. interrupted while waiting)
+            self._step(event)
+        return resume
+
+    def _step(self, event: Event) -> None:
+        """Advance the generator by one yield."""
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if event._ok:
+                target = self.gen.send(event._value)
+            else:
+                target = self.gen.throw(event._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            self.fail(exc)
+            return
+        sim._active_process = None
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            # Throw it back into the generator on the next tick so the
+            # traceback points at the offending yield.
+            kick = Event(sim)
+            kick.fail(exc, priority=URGENT)
+            self._wait_token += 1
+            kick.callbacks.append(self._make_resume(self._wait_token))
+            return
+
+        self._wait_token += 1
+        self._waiting_on = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (same timestamp).
+            kick = Event(sim)
+            if target._ok:
+                kick.succeed(target._value, priority=URGENT)
+            else:
+                kick.fail(target._value, priority=URGENT)
+            kick.callbacks.append(self._make_resume(self._wait_token))
+        else:
+            target.callbacks.append(self._make_resume(self._wait_token))
+
+
+class Simulator:
+    """The event loop: a heap of (time, priority, seq, event) entries."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a pending event to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        return Process(self, gen, name)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped (None outside callbacks)."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Scheduling / running
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waits on: surface the error.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or simulated time passes *until*.
+
+        If *until* is given, ``now`` is advanced to exactly *until* when the
+        horizon is reached (even if no event falls on it).
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_process(self, gen_or_proc, until: Optional[float] = None) -> Any:
+        """Convenience: run one process to completion and return its value.
+
+        Raises the process's exception if it failed, or
+        :class:`SimulationError` if the schedule drained before the process
+        finished (a deadlock).
+        """
+        proc = gen_or_proc
+        if not isinstance(proc, Process):
+            proc = self.process(proc)
+        while proc.is_alive:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: schedule drained but {proc.name!r} is alive"
+                )
+            if until is not None and self.peek() > until:
+                raise SimulationError(
+                    f"process {proc.name!r} did not finish by t={until}"
+                )
+            self.step()
+        if not proc.ok:
+            raise proc._value
+        return proc.value
+
+    def drain(self, processes: Iterable[Process]) -> None:
+        """Run until every process in *processes* has terminated."""
+        procs = list(processes)
+        while any(p.is_alive for p in procs):
+            if not self._heap:
+                alive = [p.name for p in procs if p.is_alive]
+                raise SimulationError(f"deadlock: processes still alive: {alive}")
+            self.step()
+        for p in procs:
+            if not p.ok:
+                raise p._value

@@ -1,0 +1,129 @@
+"""Shared resources and bounded queues for simulated processes.
+
+``Resource`` models a capacity-limited facility (CPU cores, a GPU, SSD
+channel slots); ``Store`` models a bounded FIFO of items (the extracting /
+training / releasing queues of GNNDrive §4.1, which carry only node-ID
+lists, never feature data).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.engine import Event, Simulator
+
+
+class Resource:
+    """A counted resource with FIFO waiters.
+
+    Usage inside a process::
+
+        req = cpu.request()
+        yield req
+        try:
+            yield sim.timeout(work)
+        finally:
+            cpu.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds once a unit is granted."""
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit; wakes the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit straight to the next waiter: in_use unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """A bounded FIFO store of Python objects.
+
+    ``put`` blocks (returns a pending event) while the store is full;
+    ``get`` blocks while it is empty.  Items are handed over in FIFO order
+    on both sides, which makes the GNNDrive queues deterministic.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "store"):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity if capacity is not None else float("inf")
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Enqueue *item*; the returned event succeeds once accepted."""
+        ev = Event(self.sim)
+        if self._getters:
+            # Direct hand-off to a waiting consumer.
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif not self.is_full:
+            self.items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Dequeue an item; the returned event's value is the item."""
+        ev = Event(self.sim)
+        if self.items:
+            item = self.items.popleft()
+            ev.succeed(item)
+            # Space freed: admit the oldest blocked putter.
+            if self._putters:
+                put_ev, pending = self._putters.popleft()
+                self.items.append(pending)
+                put_ev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if not self.items:
+            return False, None
+        ev = self.get()
+        return True, ev.value

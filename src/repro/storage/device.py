@@ -1,0 +1,162 @@
+"""Channelized SSD queueing model (timing plane).
+
+The device serves read requests on ``spec.channels`` parallel channels.
+Each request occupies one channel for ``read_latency + nbytes/bw`` seconds;
+requests are assigned greedily to the earliest-free channel (a c-server
+FIFO queue).  This single mechanism yields every storage behaviour the
+paper relies on:
+
+* queue depth 1 (one sync thread) leaves channels idle -> low bandwidth;
+* many threads or a deep io_uring ring fill all channels -> bandwidth
+  saturates at ``channels * channel_bandwidth`` (Appendix B, Fig. B.1 a/b);
+* per-request latency grows with depth because of queueing (Fig. B.1 c/d);
+* a flood of feature reads delays topology-page reads -> I/O congestion.
+
+The device exposes *batch* submission that computes all completion times
+in one call (heap-based, O(n log c)) so the simulator does not need one
+event per 512-byte request — crucial for running whole training epochs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.simcore.engine import Simulator, Timeout
+from repro.storage.spec import SSDSpec
+
+
+class SSDDevice:
+    """A shared simulated SSD; all actors' requests contend here."""
+
+    def __init__(self, sim: Simulator, spec: SSDSpec):
+        self.sim = sim
+        self.spec = spec
+        # Min-heap of per-channel next-free times.
+        self._free_at = [0.0] * spec.channels
+        heapq.heapify(self._free_at)
+        # Statistics.
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.requests = 0
+        self.write_requests = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Timing primitives
+    # ------------------------------------------------------------------
+    def service_time(self, nbytes: int) -> float:
+        return self.spec.service_time(int(nbytes))
+
+    def submit(self, nbytes: int) -> float:
+        """Submit one request now; returns its absolute completion time."""
+        return float(self.submit_batch(np.asarray([nbytes]))[0])
+
+    def submit_batch(
+        self,
+        sizes: np.ndarray,
+        io_depth: Optional[int] = None,
+        start_times: Optional[np.ndarray] = None,
+        write: bool = False,
+    ) -> np.ndarray:
+        """Submit *sizes* requests in order; return completion times.
+
+        Parameters
+        ----------
+        sizes:
+            Request sizes in bytes, in submission order.
+        io_depth:
+            If given, request *i* may not enter the device before request
+            ``i - io_depth`` has completed (a bounded submission ring).
+            ``None`` means the submitter pushes everything immediately
+            (kernel-side queueing only).
+        start_times:
+            Optional per-request earliest-start times (absolute seconds),
+            e.g. when a submitter issues requests over time.  Defaults to
+            "all available now".
+        write:
+            Account the bytes as writes (Ginex's sampling-result spill);
+            service timing is symmetric on the modelled SATA device.
+
+        Returns
+        -------
+        numpy.ndarray
+            Absolute completion time per request, same order as *sizes*.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.ndim != 1:
+            raise ValueError("sizes must be 1-D")
+        if (sizes < 0).any():
+            raise ValueError("negative request size")
+        n = len(sizes)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+
+        now = self.sim.now
+        svc = self.spec.read_latency + sizes / self.spec.channel_bandwidth
+        done = np.empty(n, dtype=np.float64)
+        free_at = self._free_at  # heap, mutated in place
+
+        if start_times is None:
+            ready = np.full(n, now)
+        else:
+            ready = np.maximum(np.asarray(start_times, dtype=np.float64), now)
+
+        for i in range(n):
+            earliest = ready[i]
+            if io_depth is not None and i >= io_depth:
+                earliest = max(earliest, done[i - io_depth])
+            chan_free = heapq.heappop(free_at)
+            start = max(chan_free, earliest)
+            finish = start + svc[i]
+            heapq.heappush(free_at, finish)
+            done[i] = finish
+            self.busy_time += svc[i]
+
+        if write:
+            self.bytes_written += int(sizes.sum())
+            self.write_requests += n
+        else:
+            self.bytes_read += int(sizes.sum())
+            self.requests += n
+        return done
+
+    # ------------------------------------------------------------------
+    # Event helpers
+    # ------------------------------------------------------------------
+    def read_event(self, nbytes: int) -> Timeout:
+        """One read as a waitable event (for sync pread paths)."""
+        done = self.submit(nbytes)
+        return self.sim.timeout(max(0.0, done - self.sim.now), value=done)
+
+    def write_event(self, nbytes: int) -> Timeout:
+        """One write as a waitable event (spill files, checkpoints)."""
+        done = float(self.submit_batch(np.asarray([nbytes]), write=True)[0])
+        return self.sim.timeout(max(0.0, done - self.sim.now), value=done)
+
+    def batch_event(self, sizes: np.ndarray,
+                    io_depth: Optional[int] = None) -> Timeout:
+        """All-complete event for a batch; value is per-request times."""
+        done = self.submit_batch(sizes, io_depth=io_depth)
+        last = float(done.max()) if len(done) else self.sim.now
+        return self.sim.timeout(max(0.0, last - self.sim.now), value=done)
+
+    # ------------------------------------------------------------------
+    @property
+    def next_free(self) -> float:
+        """Earliest time any channel becomes free (congestion indicator)."""
+        return min(self._free_at)
+
+    @property
+    def last_free(self) -> float:
+        """Time when the whole device drains."""
+        return max(self._free_at)
+
+    def utilization(self, until: Optional[float] = None) -> float:
+        """Mean channel utilization from t=0 to *until* (default: now)."""
+        until = self.sim.now if until is None else until
+        if until <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (self.spec.channels * until))

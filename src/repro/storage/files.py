@@ -1,0 +1,107 @@
+"""File catalog: the namespace of byte extents living on the simulated SSD.
+
+A :class:`FileHandle` couples a *data plane* (an optional NumPy backing
+array whose rows are the file's records) with a *timing plane* (the byte
+extent used to compute request sizes).  Feature tables, adjacency index
+arrays and Ginex's superbatch spill files all live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+@dataclass
+class FileHandle:
+    """A named byte extent on the device.
+
+    Attributes
+    ----------
+    name:
+        Catalog key.
+    nbytes:
+        Logical file size.
+    data:
+        Optional backing array (record-major).  Readers slice it for the
+        data plane; files used purely for timing (e.g. Ginex's sampling
+        spill) leave it ``None``.
+    record_nbytes:
+        Size of one record (e.g. one node's feature vector) — used by
+        record-oriented readers to translate record ids to byte offsets.
+    """
+
+    name: str
+    nbytes: int
+    data: Optional[np.ndarray] = None
+    record_nbytes: int = 1
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError("file size must be non-negative")
+        if self.record_nbytes < 1:
+            raise ValueError("record size must be >= 1")
+
+    @property
+    def num_records(self) -> int:
+        return self.nbytes // self.record_nbytes
+
+    def check_range(self, offset: int, nbytes: int) -> None:
+        """Validate a byte range against the extent."""
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise StorageError(
+                f"read [{offset}, {offset + nbytes}) out of range for "
+                f"{self.name!r} ({self.nbytes} B)"
+            )
+
+
+class FileCatalog:
+    """Registry of files on one device."""
+
+    def __init__(self):
+        self._files: Dict[str, FileHandle] = {}
+
+    def create(self, name: str, nbytes: Optional[int] = None,
+               data: Optional[np.ndarray] = None,
+               record_nbytes: Optional[int] = None) -> FileHandle:
+        """Register a file; *nbytes* defaults to the backing array's size."""
+        if name in self._files:
+            raise StorageError(f"file {name!r} already exists")
+        if data is not None:
+            data = np.ascontiguousarray(data)
+            if nbytes is None:
+                nbytes = data.nbytes
+            if record_nbytes is None:
+                record_nbytes = (
+                    data.nbytes // data.shape[0] if data.ndim >= 1 and data.shape[0]
+                    else data.nbytes or 1
+                )
+        if nbytes is None:
+            raise ValueError("nbytes required when no backing data given")
+        fh = FileHandle(name, int(nbytes), data, int(record_nbytes or 1))
+        self._files[name] = fh
+        return fh
+
+    def get(self, name: str) -> FileHandle:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file: {name!r}") from None
+
+    def remove(self, name: str) -> None:
+        if name not in self._files:
+            raise StorageError(f"no such file: {name!r}")
+        del self._files[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(f.nbytes for f in self._files.values())

@@ -1,0 +1,63 @@
+"""Memory-mapped array access (the PyG+ data path).
+
+``MmapArray`` gives NumPy-style row access to an on-SSD table, faulting
+pages through the shared :class:`PageCache`.  This is how PyG+ maps both
+the feature table and the adjacency index array, and how every system in
+the reproduction (including GNNDrive) samples topology — GNNDrive does
+"memory-mapped sampling like PyG+" (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.simcore.engine import Simulator, Timeout
+from repro.storage.files import FileHandle
+from repro.storage.page_cache import PageCache
+
+
+class MmapArray:
+    """Row-oriented mmap view of a file through the OS page cache."""
+
+    def __init__(self, sim: Simulator, cache: PageCache, handle: FileHandle):
+        if handle.data is None:
+            raise ValueError(
+                f"MmapArray needs a data-plane backing array for {handle.name!r}"
+            )
+        self.sim = sim
+        self.cache = cache
+        self.handle = handle
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.handle.data.shape
+
+    def __len__(self) -> int:
+        return self.handle.data.shape[0]
+
+    # ------------------------------------------------------------------
+    def read_rows(self, row_ids: np.ndarray) -> Tuple[Timeout, np.ndarray]:
+        """Fault in the pages covering *row_ids* and return their data.
+
+        Returns ``(event, rows)``; the caller yields the event before the
+        rows are considered delivered.  Rows are a copy (as a real read
+        into a tensor would produce).
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        pages = self.cache.pages_for_records(self.handle, row_ids)
+        ev = self.cache.access(self.handle, pages)
+        return ev, self.handle.data[row_ids]
+
+    def read_range(self, start_row: int, stop_row: int) -> Tuple[Timeout, np.ndarray]:
+        """Contiguous row-range variant (sequential scans, CSR slices)."""
+        rec = self.handle.record_nbytes
+        offset = start_row * rec
+        nbytes = max(0, (stop_row - start_row)) * rec
+        ev = self.cache.access_range(self.handle, offset, nbytes)
+        return ev, self.handle.data[start_row:stop_row]
+
+    def touch_bytes(self, offset: int, nbytes: int) -> Timeout:
+        """Fault a raw byte range without a data-plane result."""
+        return self.cache.access_range(self.handle, offset, nbytes)

@@ -1,0 +1,178 @@
+"""OS page cache model: LRU over 4 KiB pages, sized by *free* host memory.
+
+This is the battleground of the paper's memory-contention observation
+(𝔒1).  Both PyG+'s memory-mapped feature file and everyone's memory-mapped
+topology index array read through here.  When pinned allocations (or the
+other file's pages) squeeze the cache, topology pages get evicted, the
+sample stage misses, and sampling time balloons — Figure 2's mechanism.
+
+The cache resizes itself reactively: it subscribes to the host-memory
+accountant and drops LRU pages whenever pinned memory grows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.memory.host import HostMemory
+from repro.simcore.engine import Simulator, Timeout
+from repro.storage.device import SSDDevice
+from repro.storage.files import FileHandle
+from repro.storage.spec import PAGE_SIZE
+
+
+#: Copying a resident page from cache to a user buffer (DRAM-to-DRAM).
+DRAM_COPY_BANDWIDTH = 20e9
+
+
+class PageCache:
+    """A shared LRU page cache backed by the simulated SSD.
+
+    Notes
+    -----
+    Residency is updated at submission time, so two actors touching the
+    same missing page in the same instant charge the device once — the
+    same effect as the kernel's in-flight page tracking.
+    """
+
+    def __init__(self, sim: Simulator, host: HostMemory, device: SSDDevice,
+                 page_size: int = PAGE_SIZE, fault_depth: int = 1):
+        if page_size < 1:
+            raise ValueError("page_size must be positive")
+        if fault_depth < 1:
+            raise ValueError("fault_depth must be >= 1")
+        self.sim = sim
+        self.host = host
+        self.device = device
+        self.page_size = int(page_size)
+        #: mmap faults are demand-paged: the faulting thread blocks per
+        #: page, so one thread keeps at most a readahead window of this
+        #: many page reads in flight.  This serialisation is exactly why
+        #: mmap-based extraction (PyG+) cannot reach device bandwidth
+        #: the way io_uring at depth 64 does (§3 𝔒2 / Appendix B).
+        self.fault_depth = int(fault_depth)
+        #: (file name, page id) -> None, in LRU order (oldest first).
+        self._resident: OrderedDict[Tuple[str, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        host.add_pressure_listener(self.shrink_to_budget)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_pages(self) -> int:
+        return self.host.cache_budget() // self.page_size
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    def resident_bytes(self) -> int:
+        return len(self._resident) * self.page_size
+
+    def contains(self, name: str, page: int) -> bool:
+        return (name, int(page)) in self._resident
+
+    # ------------------------------------------------------------------
+    def shrink_to_budget(self) -> None:
+        """Drop LRU pages until the cache fits the current budget."""
+        cap = self.capacity_pages
+        while len(self._resident) > cap:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_file(self, name: str) -> None:
+        """Drop every cached page of *name* (e.g. file deleted)."""
+        stale = [k for k in self._resident if k[0] == name]
+        for k in stale:
+            del self._resident[k]
+
+    def flush(self) -> None:
+        """Drop everything (echo 3 > drop_caches)."""
+        self._resident.clear()
+
+    # ------------------------------------------------------------------
+    def pages_for_range(self, offset: int, nbytes: int) -> np.ndarray:
+        """Page ids covering the byte range."""
+        if nbytes <= 0:
+            return np.empty(0, dtype=np.int64)
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def pages_for_records(self, handle: FileHandle,
+                          record_ids: np.ndarray) -> np.ndarray:
+        """Unique page ids covering the given records of *handle*.
+
+        Vectorized: each record spans ``ceil(rec/page)`` + boundary pages;
+        we compute first/last page per record and expand.
+        """
+        record_ids = np.asarray(record_ids, dtype=np.int64)
+        if len(record_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        rec = handle.record_nbytes
+        starts = record_ids * rec
+        ends = starts + rec - 1
+        first = starts // self.page_size
+        last = ends // self.page_size
+        span = int((last - first).max()) + 1
+        # Expand [first, last] per record, then unique.
+        pages = first[:, None] + np.arange(span)[None, :]
+        mask = pages <= last[:, None]
+        return np.unique(pages[mask])
+
+    # ------------------------------------------------------------------
+    def access(self, handle: FileHandle, pages: np.ndarray) -> Timeout:
+        """Touch *pages* of *handle*; returns the ready event.
+
+        Hits cost a DRAM copy; misses queue page-sized device reads (all
+        in flight at once: the kernel issues readahead-style batches).
+        The event's value is ``(hit_count, miss_count)``.
+        """
+        pages = np.unique(np.asarray(pages, dtype=np.int64))
+        name = handle.name
+        resident = self._resident
+        hit_keys = []
+        miss_pages = []
+        for p in pages:
+            key = (name, int(p))
+            if key in resident:
+                hit_keys.append(key)
+            else:
+                miss_pages.append(int(p))
+
+        # LRU maintenance: refresh hits, insert misses as MRU.
+        for key in hit_keys:
+            resident.move_to_end(key)
+        for p in miss_pages:
+            resident[(name, p)] = None
+        self.hits += len(hit_keys)
+        self.misses += len(miss_pages)
+        self.shrink_to_budget()
+
+        copy_time = len(pages) * self.page_size / DRAM_COPY_BANDWIDTH
+        if miss_pages:
+            sizes = np.full(len(miss_pages), self.page_size, dtype=np.int64)
+            done = self.device.submit_batch(sizes, io_depth=self.fault_depth)
+            ready = float(done.max()) + copy_time
+        else:
+            ready = self.sim.now + copy_time
+        return self.sim.timeout(max(0.0, ready - self.sim.now),
+                                value=(len(hit_keys), len(miss_pages)))
+
+    def access_range(self, handle: FileHandle, offset: int,
+                     nbytes: int) -> Timeout:
+        """Touch a byte range (buffered read / mmap fault path)."""
+        handle.check_range(offset, nbytes)
+        return self.access(handle, self.pages_for_range(offset, nbytes))
+
+    def warm(self, handle: FileHandle, pages: Optional[np.ndarray] = None) -> None:
+        """Instantly mark pages resident (pre-faulted state for tests)."""
+        if pages is None:
+            pages = self.pages_for_range(0, handle.nbytes)
+        for p in np.asarray(pages, dtype=np.int64):
+            self._resident[(handle.name, int(p))] = None
+        self.shrink_to_budget()

@@ -1,0 +1,78 @@
+"""SSD device parameter sets.
+
+The two presets correspond to the paper's machines: a SAMSUNG PM883 SATA
+SSD on the main testbed (§5 "Platform") and an Intel DC S3510 on the
+multi-GPU machine (§5.2 "Scalability").  Numbers are public datasheet
+figures; the reproduction only depends on their *ratios* (command overhead
+vs transfer time), which set where bandwidth saturates with queue depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Direct I/O access granularity (legacy sector), §4.4 "Access Granularity".
+SECTOR_SIZE = 512
+
+#: OS page cache granularity.
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """Timing parameters of a simulated SSD.
+
+    Attributes
+    ----------
+    read_latency:
+        Fixed per-command overhead (controller + flash access), seconds.
+    channel_bandwidth:
+        Per-channel streaming bandwidth, bytes/second.  Aggregate device
+        bandwidth is ``channels * channel_bandwidth``.
+    channels:
+        Internal parallelism (NAND channels / NCQ effective slots).  This
+        is what makes queue depth > 1 (or many sync threads) pay off.
+    name:
+        Human-readable device name for reports.
+    """
+
+    read_latency: float
+    channel_bandwidth: float
+    channels: int
+    name: str = "ssd"
+
+    def __post_init__(self):
+        if self.read_latency < 0:
+            raise ValueError("read_latency must be non-negative")
+        if self.channel_bandwidth <= 0:
+            raise ValueError("channel_bandwidth must be positive")
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+
+    @property
+    def max_bandwidth(self) -> float:
+        """Aggregate large-block read bandwidth (bytes/s)."""
+        return self.channels * self.channel_bandwidth
+
+    def service_time(self, nbytes: int) -> float:
+        """Channel service time for a single request of *nbytes*."""
+        return self.read_latency + nbytes / self.channel_bandwidth
+
+
+#: SAMSUNG PM883 (SATA 6 Gb/s): ~550 MB/s sequential read, ~98K IOPS 4K
+#: random read => 8 effective channels at ~69 MB/s with ~70 us overhead.
+PM883 = SSDSpec(
+    read_latency=70e-6,
+    channel_bandwidth=69e6,
+    channels=8,
+    name="PM883",
+)
+
+#: Intel DC S3510 (older SATA): ~500 MB/s sequential, ~68K IOPS => fewer
+#: effective channels and higher command overhead.
+S3510 = SSDSpec(
+    read_latency=90e-6,
+    channel_bandwidth=63e6,
+    channels=8,
+    name="S3510",
+)

@@ -1,0 +1,97 @@
+"""Synchronous (blocking) read path — the ``pread`` the baselines use.
+
+A sync read occupies the calling simulated thread for the full device
+round-trip: this is exactly the "CPU stays idle waiting for the readiness
+of data" behaviour of §3 𝔒2.  Multiple threads each blocked on their own
+sync read still fill the device's channels, which is why the paper finds
+sync multi-thread bandwidth ≈ async single-thread bandwidth (Appendix B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.simcore.engine import Simulator, Timeout
+from repro.storage.device import SSDDevice
+from repro.storage.files import FileHandle
+from repro.storage.spec import SECTOR_SIZE
+
+
+def check_aligned(offset: int, nbytes: int) -> None:
+    """Direct I/O requires sector-aligned offset and length (§4.4)."""
+    if offset % SECTOR_SIZE or nbytes % SECTOR_SIZE:
+        raise AlignmentError(
+            f"direct I/O requires {SECTOR_SIZE}-byte alignment, got "
+            f"offset={offset} nbytes={nbytes}"
+        )
+
+
+class SyncFile:
+    """Blocking reads against one file, optionally O_DIRECT.
+
+    Used inside a process::
+
+        ev, rows = f.read_records(np.array([3, 17]))
+        yield ev          # thread blocks for the device round-trip
+        consume(rows)
+    """
+
+    def __init__(self, sim: Simulator, device: SSDDevice, handle: FileHandle,
+                 direct: bool = True):
+        self.sim = sim
+        self.device = device
+        self.handle = handle
+        self.direct = direct
+
+    def read(self, offset: int, nbytes: int) -> Timeout:
+        """One blocking byte-range read; yields until the device answers."""
+        self.handle.check_range(offset, nbytes)
+        if self.direct:
+            check_aligned(offset, nbytes)
+        return self.device.read_event(nbytes)
+
+    def read_records(self, record_ids: np.ndarray,
+                     io_size: Optional[int] = None):
+        """Blocking read of many records issued back-to-back by one thread.
+
+        One thread issues the next request only after the previous one
+        completed (the sync model), so completion times chain.  Returns
+        ``(event, rows)`` where *rows* is the data-plane result.
+
+        Parameters
+        ----------
+        record_ids:
+            Record indices into the file.
+        io_size:
+            Bytes fetched per record (defaults to the rounded-up sector
+            multiple of the record size under direct I/O).
+        """
+        record_ids = np.asarray(record_ids, dtype=np.int64)
+        rec = self.handle.record_nbytes
+        if io_size is None:
+            io_size = rec
+            if self.direct and io_size % SECTOR_SIZE:
+                io_size = ((io_size // SECTOR_SIZE) + 1) * SECTOR_SIZE
+        elif self.direct:
+            check_aligned(0, io_size)
+
+        n = len(record_ids)
+        if n == 0:
+            return self.sim.timeout(0.0), self._slice(record_ids)
+
+        # Sequential dependency: io_depth=1 chains each request after the
+        # previous completion — the defining property of one sync thread.
+        done = self.device.submit_batch(
+            np.full(n, io_size, dtype=np.int64), io_depth=1
+        )
+        ev = self.sim.timeout(max(0.0, float(done[-1]) - self.sim.now),
+                              value=done)
+        return ev, self._slice(record_ids)
+
+    def _slice(self, record_ids: np.ndarray) -> Optional[np.ndarray]:
+        if self.handle.data is None:
+            return None
+        return self.handle.data[record_ids]

@@ -1,0 +1,39 @@
+"""Tests for the in-memory reference system."""
+
+import pytest
+
+from repro.baselines import InMemory
+from repro.bench.runner import get_dataset, run_system
+from repro.core.base import TrainConfig
+from repro.errors import OutOfMemoryError
+from repro.graph import make_dataset
+from repro.machine import Machine, MachineSpec
+
+
+def test_inmemory_runs_and_learns():
+    ds = make_dataset("tiny", seed=0)
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+    s = InMemory(m, ds, TrainConfig(batch_size=20))
+    stats = s.run_epochs(3, eval_every=3)
+    assert stats[-1].loss < stats[0].loss
+    assert stats[-1].val_acc > 0.2
+    # Zero disk reads during training (everything resident).
+    assert m.ssd.bytes_read == 0
+
+
+def test_inmemory_ooms_when_dataset_exceeds_host():
+    """The regime the paper targets: data does not fit in memory."""
+    ds = get_dataset("papers100m-mini", scale=0.15)
+    res = run_system("in-memory", ds, TrainConfig(batch_size=10),
+                     epochs=1, data_scale=0.15)
+    assert res.status == "OOM"   # 66 MB-equivalent data vs 32 MB host
+
+
+def test_inmemory_is_the_lower_bound():
+    """GNNDrive can never beat the no-disk ideal on the same workload."""
+    ds = get_dataset("tiny")
+    tc = TrainConfig(batch_size=20)
+    ideal = run_system("in-memory", ds, tc, host_gb=512, epochs=2)
+    gnnd = run_system("gnndrive-gpu", ds, tc, host_gb=512, epochs=2)
+    assert ideal.ok and gnnd.ok
+    assert ideal.epoch_time <= gnnd.epoch_time * 1.05

@@ -1,0 +1,51 @@
+"""Tests for the fio-style storage microbenchmark."""
+
+import pytest
+
+from repro.bench.fio import IoResult, run_async, run_sync, sweep
+
+
+def test_sync_single_thread_bandwidth_matches_model():
+    r = run_sync(1, requests_per_thread=100)
+    # One thread: bandwidth = size / service_time.
+    from repro.storage import PM883
+    expected = 512 / PM883.service_time(512)
+    assert r.bandwidth == pytest.approx(expected, rel=0.01)
+    assert r.requests == 100
+
+
+def test_sync_threads_scale_until_channels():
+    r1 = run_sync(1, requests_per_thread=64)
+    r8 = run_sync(8, requests_per_thread=64)
+    r32 = run_sync(32, requests_per_thread=64)
+    assert r8.bandwidth == pytest.approx(8 * r1.bandwidth, rel=0.05)
+    assert r32.bandwidth < 1.2 * r8.bandwidth  # saturated at 8 channels
+
+
+def test_async_depth_matches_sync_threads():
+    """The Appendix-B equivalence the paper leans on."""
+    for n in (2, 8, 32):
+        sync = run_sync(n, requests_per_thread=64)
+        asyn = run_async(n, num_requests=n * 64)
+        assert asyn.bandwidth == pytest.approx(sync.bandwidth, rel=0.1)
+
+
+def test_async_latency_grows_with_depth():
+    shallow = run_async(1, num_requests=256)
+    deep = run_async(32, num_requests=256)
+    assert deep.mean_latency > shallow.mean_latency
+    assert deep.bandwidth > shallow.bandwidth
+
+
+def test_buffered_mode_uses_page_sized_requests():
+    direct = run_async(8, num_requests=200, buffered=False)
+    buffered = run_async(8, num_requests=200, buffered=True)
+    # Same request count, 8x the bytes per request -> more total time.
+    assert buffered.total_time > direct.total_time
+
+
+def test_sweep_structure():
+    grid = sweep(threads=(1, 4), depths=(1, 4))
+    assert set(grid) == {"sync", "async"}
+    assert set(grid["sync"]) == {1, 4}
+    assert all(isinstance(v, IoResult) for v in grid["async"].values())

@@ -1,0 +1,156 @@
+"""Tests for the bench report printers and experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    QUICK,
+    FULL,
+    SystemResult,
+    build_system,
+    format_series,
+    format_table,
+    fmt_value,
+    get_dataset,
+    run_system,
+)
+from repro.bench.runner import SYSTEM_NAMES, active_profile
+from repro.core.base import TrainConfig
+from repro.machine import Machine, MachineSpec
+
+
+def test_fmt_value_variants():
+    assert fmt_value(None) == "-"
+    assert fmt_value("OOM") == "OOM"
+    assert fmt_value(float("nan")) == "nan"
+    assert fmt_value(float("inf")) == "inf"
+    assert fmt_value(0.0) == "0"
+    assert fmt_value(1234.5678) == "1.23e+03"
+    assert fmt_value(0.1234) == "0.123"
+    assert fmt_value(42) == "42"
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["OOM", None]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "OOM" in out and "-" in out
+    # All rows same width.
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_format_series_bars():
+    out = format_series("bw", [1, 2], [10.0, 20.0], "x", "MB/s")
+    assert "bw" in out
+    assert out.count("#") > 0
+    out2 = format_series("s", [1], ["OOM"])
+    assert "OOM" in out2
+
+
+def test_format_series_all_zero():
+    out = format_series("z", [1, 2], [0.0, 0.0])
+    assert "0" in out
+
+
+def test_profiles():
+    assert QUICK.dataset_scale < FULL.dataset_scale
+    assert QUICK.total_epochs == QUICK.epochs + QUICK.warmup_epochs
+    assert active_profile().name in ("quick", "full")
+
+
+def test_get_dataset_is_cached():
+    a = get_dataset("tiny", scale=0.5)
+    b = get_dataset("tiny", scale=0.5)
+    assert a is b
+    c = get_dataset("tiny", scale=0.4)
+    assert c is not a
+
+
+def test_build_system_all_names():
+    for name in SYSTEM_NAMES:
+        ds = get_dataset("tiny")
+        machine = Machine(MachineSpec.paper_scaled(host_gb=64))
+        sut = build_system(name, machine, ds, TrainConfig(batch_size=20))
+        assert sut is not None
+    with pytest.raises(ValueError):
+        build_system("bogus", Machine(MachineSpec.paper_scaled()), ds,
+                     TrainConfig())
+
+
+def test_run_system_ok_path():
+    ds = get_dataset("tiny")
+    res = run_system("gnndrive-gpu", ds, TrainConfig(batch_size=20),
+                     epochs=1, warmup_epochs=1)
+    assert res.ok
+    assert res.status == "ok"
+    assert res.epoch_time > 0
+    assert len(res.stats) == 2
+    assert isinstance(res.cell(), float)
+
+
+def test_run_system_oom_marker():
+    ds = get_dataset("tiny")
+    spec = MachineSpec.paper_scaled(host_gb=32, gpu_capacity=1 << 12)
+    res = run_system("gnndrive-gpu", ds, TrainConfig(batch_size=20),
+                     machine_spec=spec, epochs=1)
+    assert res.status == "OOM"
+    assert res.cell() == "OOM"
+    assert not res.ok
+    assert "OOM" in res.error
+
+
+def test_run_system_oot_marker():
+    ds = get_dataset("tiny")
+    res = run_system("pyg+", ds, TrainConfig(batch_size=20),
+                     epochs=5, warmup_epochs=0, time_budget=1e-9)
+    assert res.status == "OOT"
+
+
+def test_run_system_keep_machine():
+    ds = get_dataset("tiny")
+    res = run_system("gnndrive-gpu", ds, TrainConfig(batch_size=20),
+                     epochs=1, warmup_epochs=0, keep_machine=True)
+    assert res.machine is not None
+    assert res.machine.ssd.bytes_read > 0
+
+
+def test_data_scale_shrinks_machine():
+    ds = get_dataset("tiny", scale=0.5)
+    res = run_system("gnndrive-gpu", ds, TrainConfig(batch_size=10),
+                     epochs=1, warmup_epochs=0, data_scale=0.5,
+                     keep_machine=True)
+    full = MachineSpec.paper_scaled(host_gb=32)
+    assert res.machine.spec.host_capacity == pytest.approx(
+        full.host_capacity * 0.5, rel=0.01)
+
+
+def test_results_io_roundtrip(tmp_path):
+    import numpy as np
+    from repro.bench.experiments import ExperimentResult
+    from repro.bench.results_io import load_result, save_result
+
+    result = ExperimentResult(
+        "figX", "demo", tables=["t"], notes=["n"],
+        data={("sys", 128): 0.5, "arr": np.arange(3),
+              "nan": float("nan"), "np": np.float32(1.5)})
+    path = str(tmp_path / "r.json")
+    save_result(result, path)
+    doc = load_result(path)
+    assert doc["name"] == "figX"
+    assert doc["data"]["sys | 128"] == 0.5
+    assert doc["data"]["arr"] == [0, 1, 2]
+    assert doc["data"]["nan"] == "nan"
+    assert doc["data"]["np"] == 1.5
+
+
+def test_load_result_rejects_foreign_json(tmp_path):
+    import json
+    import pytest
+    from repro.bench.results_io import load_result
+
+    path = tmp_path / "x.json"
+    path.write_text(json.dumps({"foo": 1}))
+    with pytest.raises(ValueError):
+        load_result(str(path))

@@ -1,0 +1,184 @@
+"""Unit tests for the feature-buffer manager (Algorithm 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_buffer import FeatureBuffer
+from repro.errors import SimulationError
+from repro.simcore import Simulator
+
+
+def make_fb(slots=8, nodes=32, dim=4):
+    sim = Simulator()
+    return sim, FeatureBuffer(sim, slots, nodes, dim)
+
+
+def test_fresh_batch_all_needs_load():
+    sim, fb = make_fb()
+    cls = fb.begin_batch(np.array([1, 2, 3]))
+    assert list(cls.needs_load) == [1, 2, 3]
+    assert len(cls.wait_nodes) == 0
+    assert cls.reused == 0
+    assert np.all(cls.aliases == -1)
+    assert list(fb.ref[[1, 2, 3]]) == [1, 1, 1]
+
+
+def test_allocate_fill_finish_roundtrip():
+    sim, fb = make_fb(dim=2)
+    nodes = np.array([5, 6])
+    fb.begin_batch(nodes)
+    assigned, remaining = fb.allocate_slots(nodes)
+    assert len(assigned) == 2 and len(remaining) == 0
+    rows = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+    fb.fill(nodes, rows)
+    fb.finish_load(nodes)
+    assert fb.valid[5] and fb.valid[6]
+    aliases = fb.resolve_aliases(nodes)
+    assert np.array_equal(fb.gather(aliases), rows)
+    fb.check_invariants()
+
+
+def test_reuse_of_valid_referenced_node():
+    sim, fb = make_fb()
+    a = np.array([1, 2])
+    fb.begin_batch(a)
+    fb.allocate_slots(a)
+    fb.finish_load(a)
+    # Second batch shares node 2 while still referenced by batch 1.
+    cls = fb.begin_batch(np.array([2, 3]))
+    assert list(cls.needs_load) == [3]
+    assert cls.reused == 1
+    assert fb.ref[2] == 2
+    fb.check_invariants()
+
+
+def test_retired_node_reused_from_standby():
+    sim, fb = make_fb()
+    a = np.array([1])
+    fb.begin_batch(a)
+    fb.allocate_slots(a)
+    fb.finish_load(a)
+    fb.release(a)                    # ref 0: slot parked in standby
+    slot = int(fb.slot_of[1])
+    assert slot in fb.standby
+    cls = fb.begin_batch(np.array([1, 9]))
+    assert cls.reused == 1
+    assert slot not in fb.standby    # pulled back out
+    assert cls.aliases[0] == slot
+    fb.check_invariants()
+
+
+def test_inflight_node_goes_to_wait_list():
+    sim, fb = make_fb()
+    fb.begin_batch(np.array([1]))    # extractor A takes node 1 (invalid, ref 1)
+    cls = fb.begin_batch(np.array([1, 2]))
+    assert list(cls.wait_nodes) == [1]
+    assert list(cls.needs_load) == [2]
+    assert fb.ref[1] == 2
+
+
+def test_ready_event_fires_on_finish():
+    sim, fb = make_fb()
+    fb.begin_batch(np.array([1]))
+    fb.allocate_slots(np.array([1]))
+    ev = fb.ready_event(1)
+    assert not ev.triggered
+    fb.finish_load(np.array([1]))
+    assert ev.triggered
+    # Already-valid node: event pre-fired.
+    assert fb.ready_event(1).triggered
+
+
+def test_delayed_invalidation_on_slot_reuse():
+    sim, fb = make_fb(slots=1)
+    fb.begin_batch(np.array([1]))
+    fb.allocate_slots(np.array([1]))
+    fb.finish_load(np.array([1]))
+    fb.release(np.array([1]))
+    assert fb.valid[1]               # still valid after release (delayed)
+    fb.begin_batch(np.array([2]))
+    fb.allocate_slots(np.array([2]))
+    assert not fb.valid[1]           # invalidated at reuse
+    assert fb.slot_of[1] == -1
+    assert fb.reverse[0] == 2
+    fb.check_invariants()
+
+
+def test_lru_order_of_standby_reuse():
+    sim, fb = make_fb(slots=2, nodes=8)
+    for v in (1, 2):
+        arr = np.array([v])
+        fb.begin_batch(arr)
+        fb.allocate_slots(arr)
+        fb.finish_load(arr)
+    fb.release(np.array([1]))   # slot of 1 retires first (LRU)
+    fb.release(np.array([2]))
+    fb.begin_batch(np.array([3]))
+    fb.allocate_slots(np.array([3]))
+    assert fb.slot_of[1] == -1  # node 1's slot was the LRU victim
+    assert fb.valid[2]
+
+
+def test_allocate_partial_when_standby_short():
+    sim, fb = make_fb(slots=2, nodes=16)
+    nodes = np.array([1, 2, 3])
+    fb.begin_batch(nodes)
+    assigned, remaining = fb.allocate_slots(nodes)
+    assert len(assigned) == 2
+    assert list(remaining) == [3]
+
+
+def test_slot_wait_event_wakes_on_release():
+    sim, fb = make_fb(slots=1, nodes=8)
+    fb.begin_batch(np.array([1]))
+    fb.allocate_slots(np.array([1]))
+    fb.finish_load(np.array([1]))
+    ev = fb.slot_wait_event()
+    assert not ev.triggered
+    fb.release(np.array([1]))
+    assert ev.triggered
+
+
+def test_release_underflow_raises():
+    sim, fb = make_fb()
+    with pytest.raises(SimulationError):
+        fb.release(np.array([1]))
+
+
+def test_fill_without_slot_raises():
+    sim, fb = make_fb(dim=2)
+    with pytest.raises(SimulationError):
+        fb.fill(np.array([1]), np.zeros((1, 2), dtype=np.float32))
+
+
+def test_finish_load_unmapped_raises():
+    sim, fb = make_fb()
+    with pytest.raises(SimulationError):
+        fb.finish_load(np.array([1]))
+
+
+def test_duplicate_nodes_in_batch_rejected():
+    sim, fb = make_fb()
+    with pytest.raises(ValueError):
+        fb.begin_batch(np.array([1, 1]))
+
+
+def test_validation_of_ctor():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FeatureBuffer(sim, 0, 4, 4)
+    with pytest.raises(ValueError):
+        FeatureBuffer(sim, 4, 0, 4)
+
+
+def test_stats_counters():
+    sim, fb = make_fb()
+    a = np.array([1, 2])
+    fb.begin_batch(a)
+    fb.allocate_slots(a)
+    fb.finish_load(a)
+    fb.release(a)
+    cls = fb.begin_batch(np.array([1, 3]))
+    fb.allocate_slots(cls.needs_load)
+    assert fb.stat_reused == 1
+    assert fb.stat_loaded == 3

@@ -1,0 +1,67 @@
+"""Tests for dataset save/load/cache."""
+
+import numpy as np
+import pytest
+
+from repro.graph import make_dataset
+from repro.graph.io import cached_dataset, load_dataset, save_dataset
+
+
+def test_save_load_roundtrip(tmp_path):
+    ds = make_dataset("tiny", seed=3)
+    path = str(tmp_path / "tiny.npz")
+    save_dataset(ds, path)
+    back = load_dataset(path)
+    assert back.spec == ds.spec
+    np.testing.assert_array_equal(back.graph.indptr, ds.graph.indptr)
+    np.testing.assert_array_equal(back.graph.indices, ds.graph.indices)
+    np.testing.assert_array_equal(back.features.features,
+                                  ds.features.features)
+    np.testing.assert_array_equal(back.labels, ds.labels)
+    np.testing.assert_array_equal(back.train_idx, ds.train_idx)
+    np.testing.assert_array_equal(back.val_idx, ds.val_idx)
+    np.testing.assert_array_equal(back.test_idx, ds.test_idx)
+
+
+def test_loaded_dataset_trains(tmp_path):
+    from repro.core import GNNDrive, GNNDriveConfig
+    from repro.core.base import TrainConfig
+    from repro.machine import Machine, MachineSpec
+
+    ds = make_dataset("tiny", seed=0)
+    path = str(tmp_path / "t.npz")
+    save_dataset(ds, path)
+    loaded = load_dataset(path)
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+    s = GNNDrive(m, loaded, TrainConfig(batch_size=20), GNNDriveConfig())
+    stats = s.run_epochs(1)
+    assert stats[0].num_batches > 0
+    s.shutdown()
+
+
+def test_cached_dataset_generates_then_hits(tmp_path):
+    cache = str(tmp_path / "cache")
+    a = cached_dataset("tiny", cache, seed=1, scale=0.5)
+    files = list((tmp_path / "cache").glob("*.npz"))
+    assert len(files) == 1
+    b = cached_dataset("tiny", cache, seed=1, scale=0.5)
+    np.testing.assert_array_equal(a.features.features, b.features.features)
+    # Different params -> different artifact.
+    cached_dataset("tiny", cache, seed=2, scale=0.5)
+    assert len(list((tmp_path / "cache").glob("*.npz"))) == 2
+
+
+def test_load_rejects_bad_version(tmp_path):
+    import json
+    ds = make_dataset("tiny", seed=0)
+    path = str(tmp_path / "v.npz")
+    save_dataset(ds, path)
+    # Corrupt the header version.
+    data = dict(np.load(path))
+    header = json.loads(bytes(data["__header__"]).decode())
+    header["version"] = 999
+    data["__header__"] = np.frombuffer(json.dumps(header).encode(),
+                                       dtype=np.uint8)
+    np.savez(path, **data)
+    with pytest.raises(ValueError, match="version"):
+        load_dataset(path)

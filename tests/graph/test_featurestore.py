@@ -1,0 +1,48 @@
+"""Unit tests for the on-SSD feature store."""
+
+import numpy as np
+import pytest
+
+from repro.graph import FeatureStore
+from repro.storage import FileCatalog
+
+
+def make_store(n=10, dim=32, dtype=np.float32):
+    data = np.arange(n * dim, dtype=dtype).reshape(n, dim)
+    return FeatureStore(data, name="f"), data
+
+
+def test_shape_accessors():
+    store, data = make_store(10, 32)
+    assert store.num_nodes == 10
+    assert store.dim == 32
+    assert store.record_nbytes == 128
+    assert store.nbytes == data.nbytes
+
+
+def test_io_size_sector_rounding():
+    store, _ = make_store(dim=32)          # 128 B records
+    assert store.io_size(direct=True) == 512
+    assert store.io_size(direct=False) == 128
+    store128, _ = make_store(dim=128)      # 512 B records
+    assert store128.io_size(direct=True) == 512
+    store129, _ = make_store(dim=129)      # 516 B records -> 1024
+    assert store129.io_size(direct=True) == 1024
+
+
+def test_mount_and_gather():
+    store, data = make_store()
+    cat = FileCatalog()
+    handle = store.mount(cat)
+    assert handle is store.handle
+    assert handle.record_nbytes == store.record_nbytes
+    got = store.gather(np.array([3, 7]))
+    np.testing.assert_array_equal(got, data[[3, 7]])
+    # gather returns a copy, not a view.
+    got[0, 0] = -1
+    assert data[3, 0] != -1
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        FeatureStore(np.zeros(10))

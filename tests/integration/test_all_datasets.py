@@ -1,0 +1,37 @@
+"""Smoke the full dataset registry through GNNDrive at small scale."""
+
+import pytest
+
+from repro.bench.runner import get_dataset, run_system
+from repro.core.base import TrainConfig
+
+SCALE = 0.1
+
+
+#: mag240m's 768-dim model parameters are scale-invariant and need a
+#: larger scaled GPU (see docs/scaling-methodology.md, "what cannot
+#: scale").
+@pytest.mark.parametrize("name,scale", [
+    ("papers100m-mini", SCALE),
+    ("twitter-mini", SCALE),
+    ("friendster-mini", SCALE),
+    ("mag240m-mini", 0.25),
+])
+def test_gnndrive_trains_every_registry_dataset(name, scale):
+    ds = get_dataset(name, scale=scale)
+    res = run_system("gnndrive-gpu", ds, TrainConfig(batch_size=10),
+                     epochs=1, warmup_epochs=0, data_scale=scale)
+    assert res.ok, f"{name}: {res.status} {res.error}"
+    assert res.stats[0].num_batches > 0
+    assert res.stats[0].loaded_nodes > 0
+
+
+@pytest.mark.parametrize("model", ["sage", "gcn", "gat"])
+def test_gnndrive_trains_every_model(model):
+    ds = get_dataset("papers100m-mini", scale=SCALE)
+    res = run_system("gnndrive-gpu", ds, TrainConfig(model_kind=model,
+                                                     batch_size=10),
+                     epochs=1, warmup_epochs=0, data_scale=SCALE,
+                     eval_every=1)
+    assert res.ok
+    assert res.stats[0].val_acc >= 0.0

@@ -1,0 +1,98 @@
+"""Tests for device memory and the PCIe transfer engine."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.memory import DeviceMemory, PCIeLink
+from repro.simcore import AllOf, Simulator
+
+
+def test_device_memory_allocate_free():
+    dev = DeviceMemory(capacity=1000)
+    dev.allocate(400, tag="featbuf")
+    assert dev.available == 600
+    dev.free(400, tag="featbuf")
+    assert dev.available == 1000
+
+
+def test_device_memory_oom():
+    dev = DeviceMemory(capacity=100, name="gpu1")
+    with pytest.raises(OutOfMemoryError) as exc:
+        dev.allocate(200)
+    assert "gpu1" in str(exc.value)
+
+
+def test_device_free_more_than_tag_holds_raises():
+    dev = DeviceMemory(capacity=100)
+    dev.allocate(50, tag="a")
+    with pytest.raises(ValueError):
+        dev.free(60, tag="a")
+
+
+def test_device_peak_tracking():
+    dev = DeviceMemory(capacity=100)
+    dev.allocate(80)
+    dev.free(80)
+    assert dev.peak_used == 80
+
+
+def test_pcie_single_transfer_time():
+    sim = Simulator()
+    link = PCIeLink(sim, bandwidth=1e9, latency=1e-3)
+
+    def proc(sim):
+        nbytes = yield link.copy_async(1_000_000)
+        return (sim.now, nbytes)
+
+    now, nbytes = sim.run_process(proc(sim))
+    assert nbytes == 1_000_000
+    assert now == pytest.approx(1e-3 + 1e-3)  # latency + 1MB/1GBps
+
+
+def test_pcie_transfers_queue_fifo():
+    sim = Simulator()
+    link = PCIeLink(sim, bandwidth=1e9, latency=0.0)
+    done = []
+
+    def proc(sim):
+        evs = [link.copy_async(1_000_000) for _ in range(3)]
+        yield AllOf(sim, evs)
+        return sim.now
+
+    # Three 1ms transfers serialise on the link: total 3ms.
+    assert sim.run_process(proc(sim)) == pytest.approx(3e-3)
+    assert link.bytes_moved == 3_000_000
+    assert link.transfers == 3
+
+
+def test_pcie_overlap_with_other_work():
+    sim = Simulator()
+    link = PCIeLink(sim, bandwidth=1e9, latency=0.0)
+    marks = {}
+
+    def proc(sim):
+        ev = link.copy_async(2_000_000)  # 2 ms
+        yield sim.timeout(0.5e-3)        # overlapping CPU work
+        marks["cpu_done"] = sim.now
+        yield ev
+        marks["copy_done"] = sim.now
+
+    sim.run_process(proc(sim))
+    assert marks["cpu_done"] == pytest.approx(0.5e-3)
+    assert marks["copy_done"] == pytest.approx(2e-3)
+
+
+def test_pcie_queue_delay_visibility():
+    sim = Simulator()
+    link = PCIeLink(sim, bandwidth=1e9, latency=0.0)
+    link.copy_async(5_000_000)
+    assert link.queue_delay == pytest.approx(5e-3)
+
+
+def test_pcie_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PCIeLink(sim, bandwidth=0)
+    link = PCIeLink(sim)
+    with pytest.raises(ValueError):
+        link.copy_async(-1)

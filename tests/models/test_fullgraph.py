@@ -1,0 +1,91 @@
+"""Tests for whole-graph (full-batch) training (§6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import csc_from_edges, make_dataset
+from repro.models import Adam, make_model
+from repro.models.fullgraph import (
+    full_graph_activation_bytes,
+    full_graph_subgraph,
+)
+from repro.models.train import train_step
+from repro.tensor import Tensor
+
+
+def test_full_graph_subgraph_structure():
+    ds = make_dataset("tiny", seed=0)
+    sub = full_graph_subgraph(ds.graph, num_layers=2, train_idx=ds.train_idx)
+    assert sub.num_sampled_nodes == ds.num_nodes
+    assert len(sub.seeds) == len(ds.train_idx)
+    assert set(sub.seeds) == set(ds.train_idx)
+    # Prefix layout holds.
+    np.testing.assert_array_equal(sub.all_nodes[:len(sub.seeds)], sub.seeds)
+    # Inner layer carries every edge; outer only edges into targets.
+    assert sub.layers[0].num_edges == ds.num_edges
+    assert sub.layers[-1].num_dst == len(ds.train_idx)
+    assert sub.layers[-1].num_edges <= ds.num_edges
+
+
+def test_full_graph_edges_are_real():
+    g = csc_from_edges(np.array([1, 2, 0]), np.array([0, 0, 2]), 3)
+    sub = full_graph_subgraph(g, num_layers=1)
+    src_global = sub.all_nodes[sub.layers[0].src_pos]
+    dst_global = sub.all_nodes[sub.layers[0].dst_pos]
+    for u, v in zip(src_global, dst_global):
+        assert u in g.neighbors(v)
+    assert sub.layers[0].num_edges == 3
+
+
+def test_full_batch_training_converges():
+    """Full-batch GCN on the whole tiny graph reaches high train acc."""
+    ds = make_dataset("tiny", seed=0)
+    sub = full_graph_subgraph(ds.graph, num_layers=2,
+                              train_idx=ds.train_idx)
+    model = make_model("gcn", ds.dim, 32, ds.num_classes, 2, seed=0)
+    opt = Adam(model.parameters(), lr=1e-2)
+    feats = ds.features.gather(sub.all_nodes)
+    losses = []
+    for _ in range(30):
+        loss, correct = train_step(model, opt, feats, sub, ds.labels)
+        losses.append(loss)
+    assert losses[-1] < losses[0] * 0.5
+    assert correct / len(sub.seeds) > 0.5
+
+
+def test_full_batch_matches_every_model_kind():
+    ds = make_dataset("tiny", seed=0)
+    sub = full_graph_subgraph(ds.graph, num_layers=2,
+                              train_idx=ds.train_idx[:50])
+    feats = ds.features.gather(sub.all_nodes)
+    for kind in ("sage", "gcn", "gat"):
+        model = make_model(kind, ds.dim, 16, ds.num_classes, 2, seed=0)
+        logits = model(Tensor(feats), sub)
+        assert logits.data.shape == (50, ds.num_classes)
+        assert np.isfinite(logits.data).all()
+
+
+def test_activation_bytes_demonstrate_the_section6_problem():
+    """papers100m-mini's full-batch activations exceed the scaled GPU —
+    the reason whole-graph training is future work."""
+    from repro.machine import MachineSpec
+
+    dims = [128, 256, 256, 172]
+    need = full_graph_activation_bytes(111_000, dims)
+    gpu = MachineSpec.paper_scaled(host_gb=32).gpu_capacity
+    assert need > gpu
+    # The tiny graph fits comfortably.
+    assert full_graph_activation_bytes(2000, [32, 16, 8]) < gpu
+
+
+def test_full_graph_validation():
+    ds = make_dataset("tiny", seed=0)
+    with pytest.raises(ValueError):
+        full_graph_subgraph(ds.graph, num_layers=0)
+
+
+def test_full_graph_all_nodes_as_targets():
+    g = csc_from_edges(np.array([1]), np.array([0]), 3)
+    sub = full_graph_subgraph(g, num_layers=1)
+    assert len(sub.seeds) == 3
+    np.testing.assert_array_equal(sub.seeds, np.arange(3))

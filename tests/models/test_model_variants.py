@@ -1,0 +1,152 @@
+"""Tests for SAGE aggregator variants and multi-head GAT."""
+
+import numpy as np
+import pytest
+
+from repro.graph import make_dataset
+from repro.models import Adam, make_model
+from repro.models.sage import AGGREGATORS, SAGELayer
+from repro.models.train import train_step
+from repro.sampling import LayerAdj, NeighborSampler
+from repro.tensor import Tensor, segment_max_aggregate, softmax_cross_entropy
+from tests.tensor.gradcheck import check_grad
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    ds = make_dataset("tiny", seed=0)
+    sampler = NeighborSampler(ds.graph, (4, 4), np.random.default_rng(1))
+    sub = sampler.sample(ds.train_idx[:16])
+    return ds, sampler, sub
+
+
+# ----------------------------------------------------------------------
+# segment_max op
+# ----------------------------------------------------------------------
+def test_segment_max_values():
+    h = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [0.0, 0.0]],
+                        dtype=np.float32))
+    src = np.array([0, 1])
+    dst = np.array([0, 0])
+    out = segment_max_aggregate(h, src, dst, num_dst=2)
+    np.testing.assert_allclose(out.data[0], [3.0, 5.0])
+    np.testing.assert_allclose(out.data[1], [0.0, 0.0])  # empty dst
+
+
+def test_segment_max_gradcheck():
+    src = np.array([0, 1, 2, 0])
+    dst = np.array([0, 0, 1, 1])
+
+    def loss(p):
+        out = segment_max_aggregate(p["h"], src, dst, 2)
+        from tests.tensor.test_ops import scalar
+        return scalar(out)
+
+    check_grad(loss, {"h": RNG.standard_normal((3, 4))})
+
+
+def test_segment_max_no_edges():
+    h = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+    out = segment_max_aggregate(h, np.empty(0, np.int64),
+                                np.empty(0, np.int64), 2)
+    np.testing.assert_allclose(out.data, 0.0)
+
+
+# ----------------------------------------------------------------------
+# SAGE aggregators
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("aggr", AGGREGATORS)
+def test_sage_aggr_forward_and_grads(tiny, aggr):
+    ds, _, sub = tiny
+    model = make_model("sage", ds.dim, 16, ds.num_classes, 2, seed=0,
+                       aggr=aggr)
+    feats = ds.features.gather(sub.all_nodes)
+    logits = model(Tensor(feats), sub)
+    assert logits.data.shape == (len(sub.seeds), ds.num_classes)
+    loss = softmax_cross_entropy(logits, ds.labels[sub.seeds])
+    loss.backward()
+    for name, p in model.named_parameters():
+        assert p.grad is not None, name
+
+
+@pytest.mark.parametrize("aggr", ["max", "sum"])
+def test_sage_aggr_learns(tiny, aggr):
+    ds, sampler, _ = tiny
+    model = make_model("sage", ds.dim, 16, ds.num_classes, 2, seed=0,
+                       aggr=aggr)
+    opt = Adam(model.parameters(), lr=5e-3)
+    rng = np.random.default_rng(0)
+    losses = []
+    for _ in range(25):
+        sub = sampler.sample(rng.choice(ds.train_idx, 32, replace=False))
+        loss, _ = train_step(model, opt, ds.features.gather(sub.all_nodes),
+                             sub, ds.labels)
+        losses.append(loss)
+    assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+
+def test_sage_aggregators_differ():
+    adj = LayerAdj(np.array([0, 1, 2]), np.array([0, 0, 0]), 3, 1)
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+    outs = {}
+    for aggr in AGGREGATORS:
+        layer = SAGELayer(4, 4, np.random.default_rng(5), aggr=aggr)
+        outs[aggr] = layer(x, adj).data
+    assert not np.allclose(outs["mean"], outs["max"])
+    assert not np.allclose(outs["mean"], outs["sum"])
+
+
+def test_sage_invalid_aggr():
+    with pytest.raises(ValueError):
+        SAGELayer(4, 4, np.random.default_rng(0), aggr="median")
+
+
+# ----------------------------------------------------------------------
+# Multi-head GAT
+# ----------------------------------------------------------------------
+def test_gat_multihead_shapes(tiny):
+    ds, _, sub = tiny
+    model = make_model("gat", ds.dim, 16, ds.num_classes, 2, seed=0, heads=4)
+    feats = ds.features.gather(sub.all_nodes)
+    logits = model(Tensor(feats), sub)
+    assert logits.data.shape == (len(sub.seeds), ds.num_classes)
+    assert np.isfinite(logits.data).all()
+    # 4 heads x 2 layers worth of attention parameters.
+    att_params = [n for n, _ in model.named_parameters() if "att_src" in n]
+    assert len(att_params) == 8
+
+
+def test_gat_multihead_all_heads_get_gradients(tiny):
+    ds, _, sub = tiny
+    model = make_model("gat", ds.dim, 16, ds.num_classes, 2, seed=0, heads=2)
+    feats = ds.features.gather(sub.all_nodes)
+    logits = model(Tensor(feats), sub)
+    loss = softmax_cross_entropy(logits, ds.labels[sub.seeds])
+    loss.backward()
+    for name, p in model.named_parameters():
+        assert p.grad is not None and np.abs(p.grad).sum() >= 0, name
+
+
+def test_gat_multihead_learns(tiny):
+    ds, sampler, _ = tiny
+    model = make_model("gat", ds.dim, 16, ds.num_classes, 2, seed=0, heads=2)
+    opt = Adam(model.parameters(), lr=5e-3)
+    rng = np.random.default_rng(0)
+    losses = []
+    for _ in range(25):
+        sub = sampler.sample(rng.choice(ds.train_idx, 32, replace=False))
+        loss, _ = train_step(model, opt, ds.features.gather(sub.all_nodes),
+                             sub, ds.labels)
+        losses.append(loss)
+    assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+
+def test_gat_head_divisibility_check():
+    with pytest.raises(ValueError, match="divisible"):
+        make_model("gat", 8, 10, 3, 2, heads=4)
+    from repro.models.gat import GATLayer
+    with pytest.raises(ValueError, match="heads"):
+        GATLayer(8, 8, np.random.default_rng(0), heads=0)

@@ -1,0 +1,175 @@
+"""Tests for LR schedules, early stopping, and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.models import Adam, SGD, make_model
+from repro.models.checkpoint import load_checkpoint, save_checkpoint
+from repro.models.module import Parameter
+from repro.models.schedule import CosineLR, EarlyStopping, StepLR
+from repro.models.train import train_step
+from repro.graph import make_dataset
+from repro.sampling import NeighborSampler
+
+
+def make_opt(lr=0.1):
+    return SGD([Parameter(np.ones(2))], lr=lr)
+
+
+# ----------------------------------------------------------------------
+# Schedulers
+# ----------------------------------------------------------------------
+def test_step_lr_decays_at_boundaries():
+    opt = make_opt(0.1)
+    sched = StepLR(opt, step_size=2, gamma=0.5)
+    lrs = [sched.step() for _ in range(6)]
+    assert lrs == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025, 0.0125])
+    assert opt.lr == pytest.approx(0.0125)
+
+
+def test_step_lr_validation():
+    with pytest.raises(ValueError):
+        StepLR(make_opt(), step_size=0)
+    with pytest.raises(ValueError):
+        StepLR(make_opt(), step_size=1, gamma=0.0)
+
+
+def test_cosine_lr_anneals_to_min():
+    opt = make_opt(1.0)
+    sched = CosineLR(opt, total_epochs=10, min_lr=0.1)
+    lrs = [sched.step() for _ in range(10)]
+    assert lrs[0] < 1.0
+    assert lrs[-1] == pytest.approx(0.1, abs=1e-9)
+    assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))  # monotone
+
+
+def test_cosine_lr_warmup_ramps():
+    opt = make_opt(1.0)
+    sched = CosineLR(opt, total_epochs=10, warmup_epochs=3)
+    lrs = [sched.step() for _ in range(5)]
+    assert lrs[0] == pytest.approx(1 / 3)
+    assert lrs[2] == pytest.approx(1.0)
+    assert lrs[3] < 1.0  # annealing begins
+
+
+def test_cosine_validation():
+    with pytest.raises(ValueError):
+        CosineLR(make_opt(), total_epochs=0)
+    with pytest.raises(ValueError):
+        CosineLR(make_opt(), total_epochs=5, warmup_epochs=5)
+
+
+def test_early_stopping_patience():
+    stopper = EarlyStopping(patience=2)
+    seq = [0.5, 0.6, 0.59, 0.58]
+    results = [stopper.update(a) for a in seq]
+    assert results == [False, False, False, True]
+    assert stopper.best == pytest.approx(0.6)
+    assert stopper.best_epoch == 1
+
+
+def test_early_stopping_min_delta():
+    stopper = EarlyStopping(patience=1, min_delta=0.05)
+    assert not stopper.update(0.5)
+    assert stopper.update(0.52)  # improvement below delta -> bad epoch
+
+
+def test_early_stopping_validation():
+    with pytest.raises(ValueError):
+        EarlyStopping(patience=0)
+    with pytest.raises(ValueError):
+        EarlyStopping(min_delta=-1)
+
+
+# ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+def trained_state(steps=5, seed=0):
+    ds = make_dataset("tiny", seed=0)
+    sampler = NeighborSampler(ds.graph, (3, 3), np.random.default_rng(1))
+    model = make_model("sage", ds.dim, 16, ds.num_classes, 2, seed=seed)
+    opt = Adam(model.parameters(), lr=3e-3)
+    rng = np.random.default_rng(2)
+    for _ in range(steps):
+        sub = sampler.sample(rng.choice(ds.train_idx, 20, replace=False))
+        train_step(model, opt, ds.features.gather(sub.all_nodes), sub,
+                   ds.labels)
+    return ds, sampler, model, opt
+
+
+def test_checkpoint_roundtrip_model_and_adam(tmp_path):
+    ds, sampler, model, opt = trained_state()
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, model, opt, epoch=7, extra={"note": "x"})
+
+    model2 = make_model("sage", ds.dim, 16, ds.num_classes, 2, seed=99)
+    opt2 = Adam(model2.parameters(), lr=1.0)
+    header = load_checkpoint(path, model2, opt2)
+    assert header["epoch"] == 7
+    assert header["extra"]["note"] == "x"
+    for (_, a), (_, b) in zip(model.named_parameters(),
+                              model2.named_parameters()):
+        np.testing.assert_array_equal(a.data, b.data)
+    assert opt2.lr == opt.lr
+    assert opt2._t == opt._t
+    np.testing.assert_array_equal(opt2._m[0], opt._m[0])
+
+
+def test_resumed_training_matches_uninterrupted(tmp_path):
+    """Training 5+5 steps with a checkpoint equals 10 straight steps."""
+    ds, _, model_a, opt_a = trained_state(steps=5)
+    path = str(tmp_path / "c.npz")
+    save_checkpoint(path, model_a, opt_a)
+
+    model_b = make_model("sage", ds.dim, 16, ds.num_classes, 2, seed=77)
+    opt_b = Adam(model_b.parameters(), lr=3e-3)
+    load_checkpoint(path, model_b, opt_b)
+
+    sampler = NeighborSampler(ds.graph, (3, 3), np.random.default_rng(50))
+    rng_a = np.random.default_rng(9)
+    rng_b = np.random.default_rng(9)
+    sampler2 = NeighborSampler(ds.graph, (3, 3), np.random.default_rng(50))
+    for _ in range(5):
+        sub_a = sampler.sample(rng_a.choice(ds.train_idx, 20, replace=False))
+        train_step(model_a, opt_a, ds.features.gather(sub_a.all_nodes),
+                   sub_a, ds.labels)
+        sub_b = sampler2.sample(rng_b.choice(ds.train_idx, 20, replace=False))
+        train_step(model_b, opt_b, ds.features.gather(sub_b.all_nodes),
+                   sub_b, ds.labels)
+    for (_, a), (_, b) in zip(model_a.named_parameters(),
+                              model_b.named_parameters()):
+        np.testing.assert_allclose(a.data, b.data, rtol=1e-6)
+
+
+def test_checkpoint_sgd_momentum(tmp_path):
+    model = make_model("gcn", 8, 4, 3, 1, seed=0)
+    opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    # One step to materialise velocity.
+    for p in model.parameters():
+        p.grad = np.ones_like(p.data)
+    opt.step()
+    path = str(tmp_path / "sgd.npz")
+    save_checkpoint(path, model, opt)
+    model2 = make_model("gcn", 8, 4, 3, 1, seed=1)
+    opt2 = SGD(model2.parameters(), lr=0.5, momentum=0.9)
+    load_checkpoint(path, model2, opt2)
+    assert opt2.lr == pytest.approx(0.1)
+    np.testing.assert_array_equal(opt2._velocity[0], opt._velocity[0])
+
+
+def test_checkpoint_mismatch_raises(tmp_path):
+    model = make_model("sage", 8, 4, 3, 2, seed=0)
+    path = str(tmp_path / "m.npz")
+    save_checkpoint(path, model)
+    other = make_model("sage", 8, 8, 3, 2, seed=0)  # different hidden
+    with pytest.raises((KeyError, ValueError)):
+        load_checkpoint(path, other)
+
+
+def test_checkpoint_adam_type_mismatch(tmp_path):
+    model = make_model("sage", 8, 4, 3, 1, seed=0)
+    opt = Adam(model.parameters())
+    save_checkpoint(str(tmp_path / "a.npz"), model, opt)
+    opt_sgd = SGD(model.parameters(), lr=0.1)
+    with pytest.raises(TypeError):
+        load_checkpoint(str(tmp_path / "a.npz"), model, opt_sgd)

@@ -1,0 +1,78 @@
+"""Tests for mini-batch planning, superbatches, and segments."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import MinibatchPlan, split_segments
+
+
+def make_plan(n=100, bs=10, shuffle=True, drop_last=False, seed=0):
+    return MinibatchPlan(np.arange(n), bs, np.random.default_rng(seed),
+                         shuffle=shuffle, drop_last=drop_last)
+
+
+def test_batches_cover_training_set():
+    plan = make_plan(95, 10)
+    batches = plan.epoch_batches()
+    assert len(batches) == 10
+    assert len(batches[-1]) == 5
+    got = np.sort(np.concatenate(batches))
+    assert np.array_equal(got, np.arange(95))
+
+
+def test_drop_last():
+    plan = make_plan(95, 10, drop_last=True)
+    assert plan.num_batches == 9
+    batches = plan.epoch_batches()
+    assert all(len(b) == 10 for b in batches)
+
+
+def test_shuffle_differs_across_epochs_but_seeded():
+    plan = make_plan(50, 10, seed=1)
+    e1 = np.concatenate(plan.epoch_batches())
+    e2 = np.concatenate(plan.epoch_batches())
+    assert not np.array_equal(e1, e2)
+    plan_again = make_plan(50, 10, seed=1)
+    assert np.array_equal(e1, np.concatenate(plan_again.epoch_batches()))
+
+
+def test_no_shuffle_preserves_order():
+    plan = make_plan(30, 10, shuffle=False)
+    batches = plan.epoch_batches()
+    assert np.array_equal(batches[0], np.arange(10))
+
+
+def test_superbatches_group_minibatches():
+    plan = make_plan(100, 10)
+    sbs = plan.superbatches(3)
+    assert [len(s) for s in sbs] == [3, 3, 3, 1]
+    with pytest.raises(ValueError):
+        plan.superbatches(0)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        make_plan(10, 0)
+    with pytest.raises(ValueError):
+        MinibatchPlan(np.array([], dtype=np.int64), 10,
+                      np.random.default_rng(0))
+
+
+def test_split_segments_partition_training_set():
+    rng = np.random.default_rng(0)
+    segs = split_segments(np.arange(100), 4, rng)
+    assert len(segs) == 4
+    assert sum(len(s) for s in segs) == 100
+    combined = np.sort(np.concatenate(segs))
+    assert np.array_equal(combined, np.arange(100))
+    # Near-equal sizes.
+    sizes = [len(s) for s in segs]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_split_segments_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        split_segments(np.arange(10), 0, rng)
+    with pytest.raises(ValueError):
+        split_segments(np.arange(3), 5, rng)

@@ -1,0 +1,73 @@
+"""Property tests for the FIFO-pipeline completion arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simcore.flow import pipeline_completion
+
+
+def scalar_reference(starts, svcs, initial):
+    done = []
+    free = initial
+    for s, c in zip(starts, svcs):
+        free = max(s, free) + c
+        done.append(free)
+    return np.array(done)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.floats(0, 100), min_size=1, max_size=40),
+    st.floats(0.01, 10),
+    st.floats(0, 50),
+)
+def test_constant_service_matches_scalar_recurrence(starts, svc, initial):
+    starts = np.array(starts)
+    fast = pipeline_completion(starts, svc, initial_free=initial)
+    ref = scalar_reference(starts, [svc] * len(starts), initial)
+    np.testing.assert_allclose(fast, ref, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(0, 100), st.floats(0.01, 10)),
+             min_size=1, max_size=30),
+    st.floats(0, 50),
+)
+def test_variable_service_matches_scalar_recurrence(pairs, initial):
+    starts = np.array([p[0] for p in pairs])
+    svcs = np.array([p[1] for p in pairs])
+    got = pipeline_completion(starts, svcs, initial_free=initial)
+    ref = scalar_reference(starts, svcs, initial)
+    np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0, 100), min_size=2, max_size=40),
+       st.floats(0.01, 5))
+def test_completions_monotone_nondecreasing(starts, svc):
+    done = pipeline_completion(np.array(starts), svc)
+    assert np.all(np.diff(done) >= -1e-9)
+
+
+def test_completion_after_start_plus_service():
+    starts = np.array([5.0, 0.0, 10.0])
+    done = pipeline_completion(starts, 2.0)
+    assert np.all(done >= starts + 2.0 - 1e-12)
+
+
+def test_empty_input():
+    assert len(pipeline_completion(np.empty(0), 1.0)) == 0
+
+
+def test_idle_pipeline_is_pure_delay():
+    starts = np.array([0.0, 10.0, 20.0])
+    done = pipeline_completion(starts, 1.0)
+    np.testing.assert_allclose(done, starts + 1.0)
+
+
+def test_saturated_pipeline_serialises():
+    starts = np.zeros(5)
+    done = pipeline_completion(starts, 2.0, initial_free=1.0)
+    np.testing.assert_allclose(done, [3, 5, 7, 9, 11])

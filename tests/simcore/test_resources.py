@@ -1,0 +1,166 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def worker(sim, res, tag, hold):
+        yield res.request()
+        grants.append((sim.now, tag))
+        yield sim.timeout(hold)
+        res.release()
+
+    procs = [sim.process(worker(sim, res, i, 2.0)) for i in range(4)]
+    sim.drain(procs)
+    # First two run at t=0; the next two must wait for releases at t=2.
+    assert grants == [(0.0, 0), (0.0, 1), (2.0, 2), (2.0, 3)]
+
+
+def test_resource_fifo_ordering_of_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, res, tag):
+        yield res.request()
+        order.append(tag)
+        yield sim.timeout(1)
+        res.release()
+
+    procs = [sim.process(worker(sim, res, i)) for i in range(5)]
+    sim.drain(procs)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_release_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_availability_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    res.request()
+    res.request()
+    assert res.available == 1
+    assert res.in_use == 2
+    res.release()
+    assert res.available == 2
+
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim, capacity=10)
+    out = []
+
+    def producer(sim, store):
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1)
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            out.append((sim.now, item))
+
+    sim.drain([sim.process(producer(sim, store)), sim.process(consumer(sim, store))])
+    assert [i for _, i in out] == [0, 1, 2]
+
+
+def test_store_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer(sim, store):
+        for i in range(3):
+            yield store.put(i)
+            times.append(sim.now)
+
+    def consumer(sim, store):
+        while True:
+            yield sim.timeout(5)
+            yield store.get()
+
+    p = sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run(until=100)
+    # puts: t=0 (fills), t=5 (after first get), t=10.
+    assert times == [0.0, 5.0, 10.0]
+    assert not p.is_alive
+
+
+def test_store_get_blocks_when_empty():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer(sim, store):
+        yield sim.timeout(7)
+        yield store.put("x")
+
+    sim.drain([sim.process(consumer(sim, store)), sim.process(producer(sim, store))])
+    assert got == [(7.0, "x")]
+
+
+def test_store_direct_handoff_preserves_order():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    got = []
+
+    def consumer(sim, store, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(sim, store):
+        yield sim.timeout(1)
+        for i in range(3):
+            yield store.put(i)
+
+    consumers = [sim.process(consumer(sim, store, t)) for t in "abc"]
+    sim.drain(consumers + [sim.process(producer(sim, store))])
+    assert got == [("a", 0), ("b", 1), ("c", 2)]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() == (False, None)
+    store.put("item")
+    ok, item = store.try_get()
+    assert ok and item == "item"
+    assert len(store) == 0
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_unbounded_never_blocks_put():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(1000):
+        ev = store.put(i)
+        assert ev.triggered
+    assert len(store) == 1000

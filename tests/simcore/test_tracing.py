@@ -1,0 +1,85 @@
+"""Tests for the Chrome-trace span exporter."""
+
+import json
+
+import pytest
+
+from repro.simcore.tracing import SpanTracer
+
+
+def test_span_and_instant_roundtrip():
+    t = SpanTracer("test")
+    t.span("b0", "sample", "sampler0", 0.0, 0.5, epoch=0)
+    t.span("b0", "train", "trainer", 0.5, 0.7)
+    t.instant("oom", "trainer", 0.6, what="gpu")
+    events = t.to_chrome_events()
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 2
+    assert spans[0]["ts"] == 0.0
+    assert spans[0]["dur"] == pytest.approx(0.5e6)
+    assert spans[0]["args"] == {"epoch": 0}
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 1
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert {"sampler0", "trainer", "test"} <= names
+
+
+def test_invalid_span_rejected():
+    t = SpanTracer()
+    with pytest.raises(ValueError):
+        t.span("x", "c", "t", 1.0, 0.5)
+
+
+def test_json_is_loadable(tmp_path):
+    t = SpanTracer()
+    t.span("a", "c", "t0", 0.0, 1.0)
+    path = tmp_path / "trace.json"
+    t.write(str(path))
+    doc = json.loads(path.read_text())
+    assert "traceEvents" in doc
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_track_queries_and_totals():
+    t = SpanTracer()
+    t.span("a", "extract", "e0", 0.0, 1.0)
+    t.span("b", "extract", "e1", 0.5, 1.0)
+    t.span("c", "train", "tr", 1.0, 1.25)
+    assert t.tracks() == ["e0", "e1", "tr"]
+    assert len(t.spans_on("e0")) == 1
+    assert t.total_time("extract") == pytest.approx(1.5)
+    assert t.total_time("train") == pytest.approx(0.25)
+
+
+def test_gnndrive_emits_spans(tmp_path):
+    from repro.core import GNNDrive, GNNDriveConfig
+    from repro.core.base import TrainConfig
+    from repro.graph import make_dataset
+    from repro.machine import Machine, MachineSpec
+
+    ds = make_dataset("tiny", seed=0)
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+    tracer = m.enable_tracing("gnndrive-tiny")
+    sysm = GNNDrive(m, ds, TrainConfig(batch_size=20), GNNDriveConfig())
+    stats = sysm.run_epochs(1)
+    sysm.shutdown()
+
+    cats = {s.category for s in tracer.spans}
+    assert cats == {"sample", "extract", "train", "release"}
+    # One span of each category per batch.
+    n = stats[0].num_batches
+    for cat in cats:
+        assert sum(1 for s in tracer.spans if s.category == cat) == n
+    # The pipeline overlaps: summed extract busy time matches the stats.
+    assert tracer.total_time("extract") == pytest.approx(
+        stats[0].stages.extract, rel=1e-6)
+    # Spans on one actor track never overlap (actors are sequential).
+    for track in tracer.tracks():
+        spans = sorted(tracer.spans_on(track), key=lambda s: s.start)
+        for a, b in zip(spans, spans[1:]):
+            assert a.end <= b.start + 1e-12
+    # Export round-trips.
+    path = tmp_path / "t.json"
+    tracer.write(str(path))
+    assert json.loads(path.read_text())["traceEvents"]

@@ -1,0 +1,170 @@
+"""Tests for the channelized SSD timing model."""
+
+import numpy as np
+import pytest
+
+from repro.simcore import Simulator
+from repro.storage import SSDDevice, SSDSpec, PM883, S3510
+
+
+def make_device(sim=None, latency=100e-6, bw=50e6, channels=4):
+    sim = sim or Simulator()
+    spec = SSDSpec(read_latency=latency, channel_bandwidth=bw, channels=channels)
+    return sim, SSDDevice(sim, spec)
+
+
+def test_single_request_service_time():
+    sim, dev = make_device(latency=100e-6, bw=50e6)
+    done = dev.submit(50_000)  # 1 ms transfer + 0.1 ms latency
+    assert done == pytest.approx(1.1e-3)
+
+
+def test_parallel_requests_fill_channels():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=4)
+    # 8 requests of 1000 B (1 ms each) over 4 channels: 2 waves.
+    done = dev.submit_batch(np.full(8, 1000))
+    assert sorted(done)[:4] == pytest.approx([1e-3] * 4)
+    assert sorted(done)[4:] == pytest.approx([2e-3] * 4)
+
+
+def test_io_depth_one_serialises():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=4)
+    done = dev.submit_batch(np.full(4, 1000), io_depth=1)
+    assert list(done) == pytest.approx([1e-3, 2e-3, 3e-3, 4e-3])
+
+
+def test_io_depth_two_pipelines_pairwise():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=4)
+    done = dev.submit_batch(np.full(4, 1000), io_depth=2)
+    # Requests 0,1 run together; 2 starts after 0; 3 after 1.
+    assert list(done) == pytest.approx([1e-3, 1e-3, 2e-3, 2e-3])
+
+
+def test_bandwidth_saturates_with_depth():
+    """Appendix B property: deeper rings reach max bandwidth."""
+    results = {}
+    for depth in (1, 4, 32):
+        sim, dev = make_device(latency=80e-6, bw=70e6, channels=8)
+        n, size = 2000, 512
+        done = dev.submit_batch(np.full(n, size), io_depth=depth)
+        results[depth] = n * size / done.max()
+    assert results[1] < results[4] < results[32]
+    # Depth 32 should approach channels/latency-bound IOPS.
+    assert results[32] > 5 * results[1]
+
+
+def test_latency_grows_with_depth():
+    """Appendix B Fig B.1(d): average latency rises with io-depth."""
+    lat = {}
+    for depth in (1, 16):
+        sim, dev = make_device(latency=80e-6, bw=70e6, channels=8)
+        n = 512
+        done = dev.submit_batch(np.full(n, 512), io_depth=depth)
+        # Latency = completion - submission (all submitted at t=0 but
+        # window-gated); approximate as mean completion spacing x depth.
+        starts = np.zeros(n)
+        starts[depth:] = done[:-depth]
+        lat[depth] = float(np.mean(done - starts))
+    assert lat[16] > lat[1]
+
+
+def test_requests_persist_channel_state_across_batches():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=1)
+    first = dev.submit_batch(np.array([1000]))
+    second = dev.submit_batch(np.array([1000]))
+    assert second[0] == pytest.approx(first[0] + 1e-3)
+
+
+def test_later_submission_after_drain_starts_fresh():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=1)
+    dev.submit_batch(np.array([1000]))
+
+    def proc(sim):
+        yield sim.timeout(1.0)  # far past the drain
+        return dev.submit(1000)
+
+    done = sim.run_process(proc(sim))
+    assert done == pytest.approx(1.0 + 1e-3)
+
+
+def test_start_times_delay_entry():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=2)
+    done = dev.submit_batch(np.full(2, 1000), start_times=np.array([0.0, 0.005]))
+    assert done[0] == pytest.approx(1e-3)
+    assert done[1] == pytest.approx(6e-3)
+
+
+def test_stats_accumulate():
+    sim, dev = make_device()
+    dev.submit_batch(np.full(10, 512))
+    assert dev.requests == 10
+    assert dev.bytes_read == 5120
+
+
+def test_empty_batch():
+    sim, dev = make_device()
+    assert len(dev.submit_batch(np.empty(0, dtype=np.int64))) == 0
+
+
+def test_negative_size_rejected():
+    sim, dev = make_device()
+    with pytest.raises(ValueError):
+        dev.submit_batch(np.array([-1]))
+
+
+def test_batch_event_fires_at_last_completion():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=1)
+
+    def proc(sim):
+        ev = dev.batch_event(np.full(3, 1000))
+        times = yield ev
+        return (sim.now, times)
+
+    now, times = sim.run_process(proc(sim))
+    assert now == pytest.approx(3e-3)
+    assert len(times) == 3
+
+
+def test_spec_presets_are_sane():
+    assert PM883.max_bandwidth == pytest.approx(552e6)
+    assert S3510.max_bandwidth < PM883.max_bandwidth
+    with pytest.raises(ValueError):
+        SSDSpec(read_latency=-1, channel_bandwidth=1, channels=1)
+    with pytest.raises(ValueError):
+        SSDSpec(read_latency=0, channel_bandwidth=0, channels=1)
+    with pytest.raises(ValueError):
+        SSDSpec(read_latency=0, channel_bandwidth=1, channels=0)
+
+
+def test_device_utilization_bounded():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=2)
+
+    def proc(sim):
+        yield dev.batch_event(np.full(4, 1000))
+
+    sim.run_process(proc(sim))
+    assert 0.0 < dev.utilization() <= 1.0
+
+
+def test_write_accounting_separate_from_reads():
+    sim, dev = make_device()
+    dev.submit_batch(np.full(4, 1000))
+    dev.submit_batch(np.full(3, 2000), write=True)
+    assert dev.bytes_read == 4000
+    assert dev.requests == 4
+    assert dev.bytes_written == 6000
+    assert dev.write_requests == 3
+
+
+def test_write_event_contends_with_reads():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=1)
+
+    def proc(sim):
+        yield dev.write_event(1000)
+        t_w = sim.now
+        yield dev.read_event(1000)
+        return t_w, sim.now
+
+    t_w, t_r = sim.run_process(proc(sim))
+    assert t_w == pytest.approx(1e-3)
+    assert t_r == pytest.approx(2e-3)  # serialised on the same channel

@@ -1,0 +1,74 @@
+"""Property-based tests for the SSD queueing model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.simcore import Simulator
+from repro.storage import SSDDevice, SSDSpec
+
+
+def make_device(channels, latency=50e-6, bw=1e8):
+    sim = Simulator()
+    return SSDDevice(sim, SSDSpec(read_latency=latency,
+                                  channel_bandwidth=bw, channels=channels))
+
+
+sizes_strategy = st.lists(st.integers(1, 1 << 20), min_size=1, max_size=60)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes_strategy, st.integers(1, 8))
+def test_completion_at_least_service_time(sizes, channels):
+    dev = make_device(channels)
+    done = dev.submit_batch(np.array(sizes))
+    for size, t in zip(sizes, done):
+        assert t >= dev.service_time(size) - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes_strategy, st.integers(1, 8))
+def test_total_work_conserved(sizes, channels):
+    """Makespan x channels >= total service time (no work invented)."""
+    dev = make_device(channels)
+    done = dev.submit_batch(np.array(sizes))
+    total_service = sum(dev.service_time(s) for s in sizes)
+    assert done.max() * channels >= total_service - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes_strategy, st.integers(1, 8))
+def test_makespan_bounded_by_serial_execution(sizes, channels):
+    dev = make_device(channels)
+    done = dev.submit_batch(np.array(sizes))
+    serial = sum(dev.service_time(s) for s in sizes)
+    assert done.max() <= serial + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes_strategy, st.integers(1, 8), st.integers(1, 16))
+def test_deeper_windows_never_slower(sizes, channels, depth):
+    """Relaxing the io-depth bound cannot increase the makespan."""
+    sizes = np.array(sizes)
+    shallow = make_device(channels).submit_batch(sizes, io_depth=depth)
+    deep = make_device(channels).submit_batch(sizes, io_depth=depth * 2)
+    assert deep.max() <= shallow.max() + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes_strategy)
+def test_more_channels_never_slower(sizes):
+    sizes = np.array(sizes)
+    few = make_device(2).submit_batch(sizes)
+    many = make_device(8).submit_batch(sizes)
+    assert many.max() <= few.max() + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(1, 1 << 16), min_size=2, max_size=40))
+def test_uniform_sizes_complete_in_submission_waves(sizes):
+    """With equal sizes and idle channels, completion times are
+    non-decreasing in submission order."""
+    dev = make_device(4)
+    uniform = np.full(len(sizes), 4096)
+    done = dev.submit_batch(uniform)
+    assert np.all(np.diff(done) >= -1e-12)

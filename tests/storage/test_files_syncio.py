@@ -1,0 +1,154 @@
+"""Tests for the file catalog and sync read path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError, StorageError
+from repro.simcore import Simulator
+from repro.storage import FileCatalog, SSDDevice, SSDSpec, SyncFile
+from repro.storage.spec import SECTOR_SIZE
+
+
+def make_env(channels=4, latency=0.0, bw=1e6):
+    sim = Simulator()
+    dev = SSDDevice(sim, SSDSpec(read_latency=latency,
+                                 channel_bandwidth=bw, channels=channels))
+    cat = FileCatalog()
+    return sim, dev, cat
+
+
+def test_catalog_create_from_data_infers_sizes():
+    _, _, cat = make_env()
+    data = np.zeros((10, 128), dtype=np.float32)
+    fh = cat.create("feat", data=data)
+    assert fh.nbytes == 10 * 128 * 4
+    assert fh.record_nbytes == 512
+    assert fh.num_records == 10
+
+
+def test_catalog_duplicate_and_missing():
+    _, _, cat = make_env()
+    cat.create("a", nbytes=100)
+    with pytest.raises(StorageError):
+        cat.create("a", nbytes=100)
+    with pytest.raises(StorageError):
+        cat.get("zzz")
+    assert "a" in cat and len(cat) == 1
+    cat.remove("a")
+    with pytest.raises(StorageError):
+        cat.remove("a")
+
+
+def test_catalog_total_bytes():
+    _, _, cat = make_env()
+    cat.create("a", nbytes=100)
+    cat.create("b", nbytes=200)
+    assert cat.total_bytes() == 300
+
+
+def test_handle_range_check():
+    _, _, cat = make_env()
+    fh = cat.create("a", nbytes=1000)
+    fh.check_range(0, 1000)
+    with pytest.raises(StorageError):
+        fh.check_range(500, 501)
+    with pytest.raises(StorageError):
+        fh.check_range(-1, 10)
+
+
+def test_sync_read_blocks_for_round_trip():
+    sim, dev, cat = make_env(latency=100e-6, bw=1e6, channels=4)
+    fh = cat.create("a", nbytes=1 << 20)
+    f = SyncFile(sim, dev, fh)
+
+    def proc(sim):
+        yield f.read(0, 1024)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == pytest.approx(100e-6 + 1024 / 1e6)
+
+
+def test_sync_direct_read_alignment_enforced():
+    sim, dev, cat = make_env()
+    fh = cat.create("a", nbytes=1 << 20)
+    f = SyncFile(sim, dev, fh, direct=True)
+    with pytest.raises(AlignmentError):
+        f.read(3, 512)
+    with pytest.raises(AlignmentError):
+        f.read(0, 100)
+
+
+def test_buffered_sync_read_allows_unaligned():
+    sim, dev, cat = make_env()
+    fh = cat.create("a", nbytes=1 << 20)
+    f = SyncFile(sim, dev, fh, direct=False)
+
+    def proc(sim):
+        yield f.read(3, 100)
+        return True
+
+    assert sim.run_process(proc(sim))
+
+
+def test_sync_record_reads_serialise_per_thread():
+    sim, dev, cat = make_env(latency=0.0, bw=1e6, channels=8)
+    data = np.arange(20, dtype=np.float32).reshape(10, 2)  # 8 B records
+    fh = cat.create("feat", data=data)
+    f = SyncFile(sim, dev, fh, direct=False)
+
+    def proc(sim):
+        ev, rows = f.read_records(np.array([1, 3, 5]), io_size=1000)
+        yield ev
+        return sim.now, rows
+
+    now, rows = sim.run_process(proc(sim))
+    # One thread: 3 chained 1ms reads despite 8 channels.
+    assert now == pytest.approx(3e-3)
+    assert np.array_equal(rows, data[[1, 3, 5]])
+
+
+def test_sync_record_reads_direct_round_up_to_sector():
+    sim, dev, cat = make_env(latency=0.0, bw=SECTOR_SIZE * 1000, channels=1)
+    data = np.zeros((10, 25), dtype=np.float32)  # 100 B records
+    fh = cat.create("feat", data=data)
+    f = SyncFile(sim, dev, fh, direct=True)
+
+    def proc(sim):
+        ev, _ = f.read_records(np.array([0]))
+        yield ev
+        return sim.now
+
+    # 100 B rounds to one 512 B sector -> exactly 1 ms at 512 B/ms.
+    assert sim.run_process(proc(sim)) == pytest.approx(1e-3)
+
+
+def test_sync_read_records_empty():
+    sim, dev, cat = make_env()
+    fh = cat.create("feat", data=np.zeros((4, 2), dtype=np.float32))
+    f = SyncFile(sim, dev, fh, direct=False)
+
+    def proc(sim):
+        ev, rows = f.read_records(np.array([], dtype=np.int64))
+        yield ev
+        return rows
+
+    assert len(sim.run_process(proc(sim))) == 0
+
+
+def test_two_sync_threads_share_channels():
+    """Two blocked threads double throughput vs one (Appendix B)."""
+    def run(num_threads):
+        sim, dev, cat = make_env(latency=0.0, bw=1e6, channels=4)
+        fh = cat.create("a", nbytes=1 << 20)
+        f = SyncFile(sim, dev, fh, direct=False)
+
+        def worker(sim):
+            for _ in range(10):
+                yield f.read(0, 1000)
+
+        procs = [sim.process(worker(sim)) for _ in range(num_threads)]
+        sim.drain(procs)
+        return sim.now
+
+    t1, t2 = run(1), run(2)
+    assert t2 == pytest.approx(t1)  # same wall time, 2x the bytes

@@ -1,0 +1,99 @@
+"""Property tests: the page cache against a reference LRU model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import HostMemory
+from repro.simcore import Simulator
+from repro.storage import FileCatalog, PageCache, SSDDevice, SSDSpec
+from repro.storage.spec import PAGE_SIZE
+
+
+class ReferenceLRU:
+    """Textbook LRU over (file, page) keys with a capacity in pages."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.order = []  # LRU at index 0
+
+    def access(self, name, pages):
+        """PageCache semantics: within one access, hit pages are
+        refreshed first (ascending page order), then missed pages are
+        inserted as MRU (ascending)."""
+        unique = sorted(set(int(x) for x in pages))
+        hit_keys = [(name, p) for p in unique if (name, p) in self.order]
+        miss_keys = [(name, p) for p in unique if (name, p) not in self.order]
+        for key in hit_keys:
+            self.order.remove(key)
+            self.order.append(key)
+        self.order.extend(miss_keys)
+        while len(self.order) > self.capacity:
+            self.order.pop(0)
+        return len(hit_keys), len(miss_keys)
+
+    def resident(self):
+        return set(self.order)
+
+
+access_list = st.lists(
+    st.tuples(st.sampled_from(["a", "b"]),
+              st.lists(st.integers(0, 30), min_size=1, max_size=8)),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=120, deadline=None)
+@given(access_list, st.integers(1, 20))
+def test_cache_matches_reference_lru(accesses, capacity_pages):
+    sim = Simulator()
+    host = HostMemory(capacity=capacity_pages * PAGE_SIZE)
+    dev = SSDDevice(sim, SSDSpec(1e-6, 1e9, 4))
+    cache = PageCache(sim, host, dev)
+    cat = FileCatalog()
+    handles = {n: cat.create(n, nbytes=64 * PAGE_SIZE) for n in ("a", "b")}
+    ref = ReferenceLRU(capacity_pages)
+
+    def proc(sim):
+        for name, pages in accesses:
+            ev = cache.access(handles[name], np.array(pages))
+            hits, misses = yield ev
+            r_hits, r_misses = ref.access(name, pages)
+            assert (hits, misses) == (r_hits, r_misses), \
+                f"divergence at {name}:{pages}"
+        return None
+
+    sim.run_process(proc(sim))
+    got = set(cache._resident.keys())
+    assert got == ref.resident()
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_list, st.integers(2, 20), st.integers(1, 15))
+def test_pressure_shrink_matches_reference(accesses, capacity_pages, pin):
+    """A pinned allocation mid-run evicts LRU pages like the reference."""
+    pin = min(pin, capacity_pages - 1)
+    sim = Simulator()
+    host = HostMemory(capacity=capacity_pages * PAGE_SIZE)
+    dev = SSDDevice(sim, SSDSpec(1e-6, 1e9, 4))
+    cache = PageCache(sim, host, dev)
+    cat = FileCatalog()
+    handles = {n: cat.create(n, nbytes=64 * PAGE_SIZE) for n in ("a", "b")}
+    ref = ReferenceLRU(capacity_pages)
+
+    half = len(accesses) // 2
+
+    def proc(sim):
+        for name, pages in accesses[:half]:
+            yield cache.access(handles[name], np.array(pages))
+            ref.access(name, pages)
+        # Memory pressure arrives.
+        host.allocate(pin * PAGE_SIZE)
+        ref.capacity = capacity_pages - pin
+        while len(ref.order) > ref.capacity:
+            ref.order.pop(0)
+        for name, pages in accesses[half:]:
+            yield cache.access(handles[name], np.array(pages))
+            ref.access(name, pages)
+        return None
+
+    sim.run_process(proc(sim))
+    assert set(cache._resident.keys()) == ref.resident()

@@ -1,0 +1,54 @@
+"""Finite-difference gradient checking helper."""
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar fn w.r.t. x (float64 probe)."""
+    x = x.astype(np.float64)
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        f_plus = fn(x.astype(np.float32))
+        x[i] = orig - eps
+        f_minus = fn(x.astype(np.float32))
+        x[i] = orig
+        g[i] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_grad(build_loss, params: dict, rtol: float = 5e-2,
+               atol: float = 5e-3) -> None:
+    """Compare autograd gradients against finite differences.
+
+    Parameters
+    ----------
+    build_loss:
+        ``build_loss(tensors: dict) -> Tensor`` returning a scalar loss.
+    params:
+        name -> initial numpy value; every entry is grad-checked.
+    """
+    tensors = {k: Tensor(v.astype(np.float32), requires_grad=True)
+               for k, v in params.items()}
+    loss = build_loss(tensors)
+    loss.backward()
+
+    for name, value in params.items():
+        def fn(x, name=name):
+            probe = {k: Tensor(v.astype(np.float32), requires_grad=False)
+                     for k, v in params.items()}
+            probe[name] = Tensor(x, requires_grad=False)
+            return float(build_loss(probe).data)
+
+        num = numeric_grad(fn, value.copy())
+        ana = tensors[name].grad
+        assert ana is not None, f"no gradient for {name}"
+        np.testing.assert_allclose(
+            ana, num, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for parameter {name!r}")

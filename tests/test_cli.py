@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_datasets_command(capsys):
+    rc, out = run_cli(capsys, "datasets", "--scale", "0.1")
+    assert rc == 0
+    assert "papers100m-mini" in out
+    assert "mag240m-mini" in out
+    assert "tiny" not in out
+
+
+def test_datasets_all_includes_tiny(capsys):
+    rc, out = run_cli(capsys, "datasets", "--scale", "0.1", "--all")
+    assert rc == 0
+    assert "tiny" in out
+
+
+def test_run_command(capsys):
+    rc, out = run_cli(capsys, "run", "gnndrive-gpu", "--dataset", "tiny",
+                      "--scale", "1.0", "--batch-size", "20",
+                      "--epochs", "1", "--eval")
+    assert rc == 0
+    assert "gnndrive-gpu on tiny" in out
+    assert "epoch" in out
+
+
+def test_run_command_reports_failure(capsys):
+    # A 1-paper-GB host cannot hold Ginex's default-fraction caches and
+    # feature working set for this batch size.
+    rc, out = run_cli(capsys, "run", "ginex", "--dataset", "tiny",
+                      "--scale", "1.0", "--batch-size", "200",
+                      "--host-gb", "0.05", "--epochs", "1")
+    assert rc == 1
+    assert "OOM" in out
+
+
+def test_compare_command_subset(capsys):
+    rc, out = run_cli(capsys, "compare", "--dataset", "tiny",
+                      "--scale", "1.0", "--batch-size", "20",
+                      "--epochs", "1",
+                      "--systems", "gnndrive-gpu", "pyg+")
+    assert rc == 0
+    assert "gnndrive-gpu" in out and "pyg+" in out
+    assert "vs first" in out
+
+
+def test_experiment_unknown_name(capsys):
+    rc, out = run_cli(capsys, "experiment", "fig99")
+    assert rc == 2
+    assert "unknown experiment" in out
+
+
+def test_experiment_tab1(capsys):
+    rc, out = run_cli(capsys, "experiment", "tab1")
+    assert rc == 0
+    assert "Reproduced Table 1" in out
+
+
+def test_fio_command(capsys):
+    rc, out = run_cli(capsys, "fio")
+    assert rc == 0
+    assert "sync bandwidth" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,100 @@
+"""Tests for the Machine abstraction and its process helpers."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.machine import GB, Machine, MachineSpec, DEFAULT_SCALE
+
+
+def test_paper_scaled_defaults():
+    spec = MachineSpec.paper_scaled(host_gb=32)
+    assert spec.host_capacity == int(32 * GB * DEFAULT_SCALE)
+    assert spec.num_gpus == 1
+    assert spec.ssd.name == "PM883"
+
+
+def test_paper_scaled_overrides():
+    spec = MachineSpec.paper_scaled(host_gb=8, num_gpus=4, cpu_cores=8)
+    assert spec.num_gpus == 4
+    assert spec.cpu_cores == 8
+    assert spec.host_capacity == int(8 * GB * DEFAULT_SCALE)
+
+
+def test_machine_wires_components():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32, num_gpus=2))
+    assert len(m.gpus) == 2
+    assert len(m.pcie) == 2
+    assert m.page_cache.host is m.host
+    assert m.cpu.capacity == m.spec.cpu_cores
+
+
+def test_cpu_task_charges_core_and_probe():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+
+    def work(sim):
+        yield from m.cpu_task(0.5)
+
+    m.sim.run_process(work(m.sim))
+    assert m.sim.now == pytest.approx(0.5)
+    assert m.probe.cpu.busy_time() == pytest.approx(0.5)
+    assert m.cpu.in_use == 0  # released
+
+
+def test_cpu_tasks_queue_beyond_core_count():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32, cpu_cores=2))
+
+    def work(sim):
+        yield from m.cpu_task(1.0)
+
+    procs = [m.sim.process(work(m.sim)) for _ in range(4)]
+    m.sim.drain(procs)
+    assert m.sim.now == pytest.approx(2.0)  # two waves on two cores
+
+
+def test_gpu_task_records_busy_time():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32, num_gpus=2))
+
+    def work(sim):
+        yield from m.gpu_task(1, 0.25)
+
+    m.sim.run_process(work(m.sim))
+    assert m.gpu_busy[1].busy_time() == pytest.approx(0.25)
+    assert m.gpu_busy[0].busy_time() == 0.0
+
+
+def test_io_wait_marks_probe():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+
+    def work(sim):
+        value = yield from m.io_wait(sim.timeout(0.3, value="data"))
+        return value
+
+    assert m.sim.run_process(work(m.sim)) == "data"
+    assert m.probe.io.busy_time() == pytest.approx(0.3)
+
+
+def test_utilization_snapshot_buckets():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+
+    def work(sim):
+        yield from m.cpu_task(1.0)
+        yield sim.timeout(1.0)
+
+    m.sim.run_process(work(m.sim))
+    snap = m.utilization_snapshot(0.0, 2.0, buckets=2)
+    assert snap["cpu"][0] > snap["cpu"][1]
+
+
+def test_gpu_memory_budget_enforced():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+    with pytest.raises(OutOfMemoryError):
+        m.gpus[0].allocate(m.spec.gpu_capacity + 1)
+
+
+def test_sample_cost_scale_slows_sampling_model():
+    fast = Machine(MachineSpec.paper_scaled(host_gb=32))
+    slow = Machine(MachineSpec.paper_scaled(host_gb=32,
+                                            sample_cost_scale=3.0))
+    t_fast = fast.cpu_cost.sample_compute_time(100, 1000)
+    t_slow = slow.cpu_cost.sample_compute_time(100, 1000)
+    assert t_slow == pytest.approx(3 * t_fast)
