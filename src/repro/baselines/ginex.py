@@ -106,33 +106,44 @@ def belady_plan(batches: Sequence[np.ndarray], capacity: int,
     """
     if capacity < 1:
         raise ValueError("capacity must be >= 1")
-    # Next-use lists per node.
-    occurrences: Dict[int, List[int]] = {}
-    for b, nodes in enumerate(batches):
-        for v in map(int, nodes):
-            occurrences.setdefault(v, []).append(b)
+    # Next-use lists per node, built with one stable sort over the whole
+    # superbatch trace instead of a per-access Python loop: group the
+    # concatenated (node, batch) stream by node; within a group the
+    # batches are already ascending.
+    all_nodes = np.concatenate([np.asarray(b, dtype=np.int64)
+                                for b in batches])
+    lens = np.array([len(b) for b in batches], dtype=np.int64)
+    batch_of = np.repeat(np.arange(len(batches), dtype=np.int64), lens)
+    grouped = np.argsort(all_nodes, kind="stable")
+    uniq, first_idx, occ_count = np.unique(all_nodes, return_index=True,
+                                           return_counts=True)
+    occ_flat = batch_of[grouped]
+    occ_start = np.concatenate(([0], np.cumsum(occ_count)[:-1]))
     INF = len(batches) + 1
 
-    # Initial contents: earliest-first-use nodes.
-    by_first_use = sorted(occurrences, key=lambda v: occurrences[v][0])
-    initial = np.array(by_first_use[:capacity], dtype=np.int64)
+    # Initial contents: earliest-first-use nodes (stable: ties broken by
+    # first appearance in the trace, like dict insertion order).
+    first_use = batch_of[first_idx]
+    by_first_use = uniq[np.lexsort((first_idx, first_use))]
+    initial = by_first_use[:capacity].copy()
     cache = set(map(int, initial))
-    pointer = {v: 0 for v in occurrences}
+    index_of = {int(v): i for i, v in enumerate(uniq)}
+    pointer = np.zeros(len(uniq), dtype=np.int64)
+
+    def next_use(v: int) -> int:
+        i = index_of[v]
+        p = pointer[i]
+        return int(occ_flat[occ_start[i] + p]) if p < occ_count[i] else INF
 
     miss_lists: List[np.ndarray] = []
     evict_lists: List[np.ndarray] = []
     for b, nodes in enumerate(batches):
         nodes = [int(v) for v in nodes]
-        for v in nodes:
-            pointer[v] += 1
+        pointer[np.searchsorted(uniq, nodes)] += 1
         misses = [v for v in nodes if v not in cache]
         cache.update(misses)
         evicted: List[int] = []
         if len(cache) > capacity:
-            def next_use(v: int) -> int:
-                occ = occurrences.get(v, [])
-                idx = pointer.get(v, 0)
-                return occ[idx] if idx < len(occ) else INF
             overflow = len(cache) - capacity
             victims = sorted(cache, key=next_use, reverse=True)[:overflow]
             for v in victims:

@@ -105,10 +105,8 @@ class PyGPlus(TrainingSystem):
     def _extract_features(self, sub: SampledSubgraph) -> Generator:
         """Synchronous mmap extraction through the page cache."""
         m = self.machine
-        cache = m.page_cache
-        pages = cache.pages_for_records(self.dataset.feat_handle,
-                                        sub.all_nodes)
-        ev = cache.access(self.dataset.feat_handle, pages)
+        ev = m.page_cache.access_records(self.dataset.feat_handle,
+                                         sub.all_nodes)
         yield from m.io_wait(ev)
 
     def _train_batch(self, sub: SampledSubgraph) -> Generator:

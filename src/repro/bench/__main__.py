@@ -1,0 +1,39 @@
+"""``python -m repro.bench`` — benchmark command-line entry points.
+
+Currently one subcommand::
+
+    python -m repro.bench hotpath [-o BENCH_hotpath.json]
+
+runs the data-plane microbenchmarks (vectorized vs. seed reference
+implementations) in well under a minute and writes the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="repro benchmark entry points")
+    sub = parser.add_subparsers(dest="command", required=True)
+    hp = sub.add_parser(
+        "hotpath",
+        help="data-plane microbenchmarks (writes BENCH_hotpath.json)")
+    hp.add_argument("-o", "--output", default="BENCH_hotpath.json",
+                    help="output JSON path (default: %(default)s)")
+    hp.add_argument("--quiet", action="store_true",
+                    help="suppress the per-bench table")
+    args = parser.parse_args(argv)
+
+    if args.command == "hotpath":
+        from repro.bench.hotpath import run_hotpath
+        artifact = run_hotpath(output=args.output, verbose=not args.quiet)
+        return 0 if artifact["targets_met"] else 1
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

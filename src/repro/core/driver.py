@@ -308,11 +308,8 @@ class GNNDrive(TrainingSystem):
                     # pages pollute the cache (squeezing the topology,
                     # which is exactly why the paper prefers direct I/O).
                     cache = m.page_cache
-                    resident = np.fromiter(
-                        (all(cache.contains(feat_handle.name, int(p))
-                             for p in cache.pages_for_records(
-                                 feat_handle, np.asarray([v])))
-                         for v in to_load), dtype=bool, count=len(to_load))
+                    resident = cache.records_resident_mask(feat_handle,
+                                                           to_load)
                     ssd_nodes = to_load[~resident]
                     cache.warm(feat_handle,
                                cache.pages_for_records(feat_handle, to_load))

@@ -23,7 +23,7 @@ Buffer").
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Tuple
 
@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.simcore.engine import Event, Simulator
+from repro.simcore.lru import ArrayLRU
 
 
 @dataclass
@@ -66,9 +67,9 @@ class FeatureBuffer:
         self.valid = np.zeros(num_nodes, dtype=bool)
         # Reverse mapping.
         self.reverse = np.full(num_slots, -1, dtype=np.int64)
-        # Standby list: slot -> None, LRU first.  All slots start free.
-        self.standby: "OrderedDict[int, None]" = OrderedDict(
-            (s, None) for s in range(num_slots))
+        # Standby list: array-backed LRU of slots.  All slots start free.
+        self.standby = ArrayLRU(num_slots)
+        self.standby.add(np.arange(num_slots, dtype=np.int64))
         # The buffer (data plane).
         self.data = np.zeros((num_slots, dim), dtype=dtype)
         # Waiters.
@@ -101,18 +102,20 @@ class FeatureBuffer:
         incremented.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
-        if len(np.unique(nodes)) != len(nodes):
-            raise ValueError("batch node list must be unique")
+        if len(nodes) > 1:
+            s = np.sort(nodes)
+            if (s[1:] == s[:-1]).any():
+                raise ValueError("batch node list must be unique")
         aliases = np.full(len(nodes), -1, dtype=np.int64)
         slot = self.slot_of[nodes]
         valid = self.valid[nodes]
         ref = self.ref[nodes]
 
         hit_mask = valid
-        # Retired hits: pull their slots out of standby.
+        # Retired hits: pull their slots out of standby (batch removal).
         retired = nodes[hit_mask & (ref == 0)]
-        for v in retired:
-            self.standby.pop(int(self.slot_of[v]), None)
+        if len(retired):
+            self.standby.discard(self.slot_of[retired])
         aliases[hit_mask] = slot[hit_mask]
 
         wait_mask = (~valid) & (ref > 0)
@@ -136,19 +139,21 @@ class FeatureBuffer:
         nodes = np.asarray(nodes, dtype=np.int64)
         k = min(len(self.standby), len(nodes))
         assigned = nodes[:k]
-        for v in assigned:
-            s, _ = self.standby.popitem(last=False)  # LRU
-            prev = int(self.reverse[s])
-            if prev >= 0:
-                # Delayed invalidation of the previous occupant.
-                if self.ref[prev] != 0:
-                    raise SimulationError(
-                        f"standby slot {s} maps node {prev} with live refs")
-                self.valid[prev] = False
-                self.slot_of[prev] = -1
-                self.stat_evictions += 1
-            self.slot_of[v] = s
-            self.reverse[s] = int(v)
+        slots = self.standby.popleft(k)            # LRU first
+        prev = self.reverse[slots]
+        occupied = prev >= 0
+        prev_nodes = prev[occupied]
+        if self.ref[prev_nodes].any():
+            bad = prev_nodes[self.ref[prev_nodes] != 0][0]
+            raise SimulationError(
+                f"standby slot {int(self.slot_of[bad])} maps node "
+                f"{int(bad)} with live refs")
+        # Delayed invalidation of the previous occupants.
+        self.valid[prev_nodes] = False
+        self.slot_of[prev_nodes] = -1
+        self.stat_evictions += int(occupied.sum())
+        self.slot_of[assigned] = slots
+        self.reverse[slots] = assigned
         self.stat_loaded += k
         return assigned, nodes[k:]
 
@@ -172,10 +177,15 @@ class FeatureBuffer:
         if (self.slot_of[nodes] < 0).any():
             raise SimulationError("finish_load() for unmapped nodes")
         self.valid[nodes] = True
-        for v in nodes:
-            ev = self._node_events.pop(int(v), None)
-            if ev is not None and not ev.triggered:
-                ev.succeed(int(v))
+        # Only consult the waiter table for nodes that actually have
+        # waiters (set intersection) — most loads have none.
+        if self._node_events:
+            keys = np.fromiter(self._node_events, dtype=np.int64,
+                               count=len(self._node_events))
+            for v in nodes[np.isin(nodes, keys)]:
+                ev = self._node_events.pop(int(v))
+                if not ev.triggered:
+                    ev.succeed(int(v))
 
     def ready_event(self, node: int) -> Event:
         """Event that fires when *node* becomes valid (Algorithm 1 L.38)."""
@@ -216,10 +226,8 @@ class FeatureBuffer:
             raise SimulationError("release of node with zero references")
         self.ref[nodes] -= 1
         done = nodes[self.ref[nodes] == 0]
-        for v in done:
-            s = int(self.slot_of[v])
-            if s >= 0:
-                self.standby[s] = None  # MRU end
+        slots = self.slot_of[done]
+        self.standby.add(slots[slots >= 0])  # MRU end, batch insert
         if len(done) and self._slot_waiters:
             waiters, self._slot_waiters = self._slot_waiters, deque()
             for ev in waiters:
@@ -230,17 +238,21 @@ class FeatureBuffer:
     def check_invariants(self) -> None:
         """Structural invariants (used by property-based tests)."""
         mapped = np.nonzero(self.slot_of >= 0)[0]
-        for v in mapped:
+        if len(mapped) and (self.reverse[self.slot_of[mapped]] != mapped).any():
+            v = mapped[self.reverse[self.slot_of[mapped]] != mapped][0]
             s = int(self.slot_of[v])
-            if self.reverse[s] != v:
-                raise SimulationError(
-                    f"reverse[{s}]={self.reverse[s]} but slot_of[{v}]={s}")
+            raise SimulationError(
+                f"reverse[{s}]={self.reverse[s]} but slot_of[{v}]={s}")
         if self.valid[self.slot_of < 0].any():
             raise SimulationError("valid node without a slot (impossible case)")
-        for s in self.standby:
-            prev = int(self.reverse[s])
-            if prev >= 0 and self.ref[prev] != 0:
-                raise SimulationError(
-                    f"standby slot {s} belongs to node {prev} with refs")
+        self.standby.check_invariants()
+        standby_slots = self.standby.order()
+        prev = self.reverse[standby_slots]
+        bad = (prev >= 0) & (self.ref[np.maximum(prev, 0)] != 0)
+        if bad.any():
+            s = int(standby_slots[bad][0])
+            raise SimulationError(
+                f"standby slot {s} belongs to node {int(self.reverse[s])} "
+                "with refs")
         if (self.ref < 0).any():
             raise SimulationError("negative reference count")

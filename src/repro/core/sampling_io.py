@@ -23,9 +23,10 @@ def frontier_pages(cache: PageCache, graph: CSCGraph,
                    frontier: np.ndarray) -> np.ndarray:
     """Unique index-array pages covering the adjacency runs of *frontier*.
 
-    Vectorized: per-node byte spans -> first/last page -> bounded
-    expansion (hub nodes span many pages; the expansion width is the
-    max span over the frontier).
+    Vectorized: per-node byte spans -> first/last page -> flat
+    repeat/cumsum expansion.  The temporary is sized by the *sum* of
+    the per-node page spans, so one hub node spanning many pages cannot
+    force a ``frontier x max_span`` allocation.
     """
     frontier = np.asarray(frontier, dtype=np.int64)
     if len(frontier) == 0:
@@ -39,10 +40,11 @@ def frontier_pages(cache: PageCache, graph: CSCGraph,
     page = cache.page_size
     first = starts // page
     last = (ends - 1) // page
-    width = int((last - first).max()) + 1
-    pages = first[:, None] + np.arange(width)[None, :]
-    mask = pages <= last[:, None]
-    return np.unique(pages[mask])
+    counts = last - first + 1
+    total = int(counts.sum())
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts,
+                                           counts)
+    return np.unique(np.repeat(first, counts) + offsets)
 
 
 def topo_access_event(cache: PageCache, handle: FileHandle,

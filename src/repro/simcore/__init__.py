@@ -23,12 +23,14 @@ Quick example
 """
 
 from repro.simcore.engine import Event, Process, Simulator, Timeout
+from repro.simcore.lru import ArrayLRU
 from repro.simcore.primitives import AllOf, AnyOf, Condition
 from repro.simcore.resources import Resource, Store
 from repro.simcore.metrics import IntervalRecorder, UtilizationProbe, TraceRecorder
 from repro.simcore.rand import RandomStreams
 
 __all__ = [
+    "ArrayLRU",
     "Event",
     "Process",
     "Simulator",

@@ -20,12 +20,12 @@ from repro.storage.spec import SSDSpec, PM883, S3510, SECTOR_SIZE, PAGE_SIZE
 from repro.storage.device import SSDDevice
 from repro.storage.files import FileCatalog, FileHandle
 from repro.storage.sync_io import SyncFile
-from repro.storage.io_uring import AsyncRing, Sqe
+from repro.storage.io_uring import AsyncRing, Sqe, SqeBatch
 from repro.storage.page_cache import PageCache
 from repro.storage.mmap_store import MmapArray
 
 __all__ = [
     "SSDSpec", "PM883", "S3510", "SECTOR_SIZE", "PAGE_SIZE",
     "SSDDevice", "FileCatalog", "FileHandle", "SyncFile",
-    "AsyncRing", "Sqe", "PageCache", "MmapArray",
+    "AsyncRing", "Sqe", "SqeBatch", "PageCache", "MmapArray",
 ]

@@ -8,12 +8,19 @@ in-flight requests by ``depth`` (the io-depth of Fig. B.1 b/d): request
 
 The ring works in the direct-I/O mode by default ("io_uring works well
 with the direct I/O mode", §4.4), enforcing 512 B sector alignment.
+
+Hot-path representation: record-read submissions are **array-form SQE
+batches** (:class:`SqeBatch`) — offsets and sizes computed as whole
+NumPy arrays and completion times filled by array assignment — instead
+of one Python :class:`Sqe` object per record.  A GNNDrive extractor
+submits one batch per mini-batch, so SQE construction costs O(1)
+interpreter operations regardless of batch size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -37,6 +44,32 @@ class Sqe:
     completion_time: float = float("nan")
 
 
+@dataclass
+class SqeBatch:
+    """Array-form submission-queue entries: many reads of one file.
+
+    Offsets/sizes/user data live in parallel NumPy arrays; indexing
+    materialises a plain :class:`Sqe` view on demand.
+    """
+
+    handle: FileHandle
+    offsets: np.ndarray
+    sizes: np.ndarray
+    user_data: np.ndarray
+    #: Filled at completion-computation time (array assignment).
+    completion_times: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64))
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def __getitem__(self, i: int) -> Sqe:
+        t = (float(self.completion_times[i])
+             if len(self.completion_times) else float("nan"))
+        return Sqe(self.handle, int(self.offsets[i]), int(self.sizes[i]),
+                   user_data=self.user_data[i], completion_time=t)
+
+
 class AsyncRing:
     """A single-thread asynchronous I/O ring over one device."""
 
@@ -48,13 +81,17 @@ class AsyncRing:
         self.device = device
         self.depth = depth
         self.direct = direct
-        self._sq: List[Sqe] = []
+        self._sq: List[Union[Sqe, SqeBatch]] = []
         self.submitted = 0
 
     def __len__(self) -> int:
-        return len(self._sq)
+        return sum(1 if isinstance(e, Sqe) else len(e) for e in self._sq)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _padded_nbytes(handle: FileHandle) -> int:
+        return ((handle.nbytes + SECTOR_SIZE - 1) // SECTOR_SIZE) * SECTOR_SIZE
+
     def prepare_read(self, handle: FileHandle, offset: int, nbytes: int,
                      user_data: object = None) -> Sqe:
         """Queue one read SQE (not yet visible to the device).
@@ -66,8 +103,7 @@ class AsyncRing:
         """
         if self.direct:
             check_aligned(offset, nbytes)
-            limit = ((handle.nbytes + SECTOR_SIZE - 1)
-                     // SECTOR_SIZE) * SECTOR_SIZE
+            limit = self._padded_nbytes(handle)
             if offset < 0 or nbytes < 0 or offset + nbytes > limit:
                 raise StorageError(
                     f"read [{offset}, {offset + nbytes}) out of padded "
@@ -80,41 +116,67 @@ class AsyncRing:
 
     def prepare_record_reads(self, handle: FileHandle,
                              record_ids: np.ndarray,
-                             io_size: Optional[int] = None) -> List[Sqe]:
-        """Queue one SQE per record id, rounding to sectors under direct I/O."""
+                             io_size: Optional[int] = None) -> SqeBatch:
+        """Queue one SQE per record id, rounding to sectors under direct
+        I/O.  Offsets and sizes are computed as arrays; no per-record
+        Python objects are allocated."""
         rec = handle.record_nbytes
         if io_size is None:
             io_size = rec
             if self.direct and io_size % SECTOR_SIZE:
                 io_size = ((io_size // SECTOR_SIZE) + 1) * SECTOR_SIZE
-        sqes = []
-        padded = ((handle.nbytes + SECTOR_SIZE - 1)
-                  // SECTOR_SIZE) * SECTOR_SIZE
-        for rid in np.asarray(record_ids, dtype=np.int64):
-            off = int(rid) * rec
-            if self.direct:
-                off -= off % SECTOR_SIZE  # align down, read the covering span
-                # Large access granularities (e.g. GDS's 4 KiB) near EOF:
-                # shift the window back so the read stays in the file.
-                off = max(0, min(off, padded - io_size))
-            sqes.append(self.prepare_read(handle, off, io_size, user_data=int(rid)))
-        return sqes
+        io_size = int(io_size)
+        record_ids = np.asarray(record_ids, dtype=np.int64)
+        offsets = record_ids * rec
+        if self.direct:
+            check_aligned(0, io_size)
+            padded = self._padded_nbytes(handle)
+            if io_size > padded:
+                raise StorageError(
+                    f"read [0, {io_size}) out of padded range for "
+                    f"{handle.name!r} ({padded} B)")
+            # Align down, read the covering span; large access
+            # granularities (e.g. GDS's 4 KiB) near EOF: shift the
+            # window back so the read stays in the file.
+            offsets -= offsets % SECTOR_SIZE
+            np.clip(offsets, 0, padded - io_size, out=offsets)
+        elif len(offsets):
+            lo = int(offsets.min())
+            hi = int(offsets.max()) + io_size
+            if lo < 0 or hi > handle.nbytes:
+                raise StorageError(
+                    f"read [{lo}, {hi}) out of range for "
+                    f"{handle.name!r} ({handle.nbytes} B)")
+        batch = SqeBatch(handle, offsets,
+                         np.full(len(offsets), io_size, dtype=np.int64),
+                         user_data=record_ids)
+        self._sq.append(batch)
+        return batch
 
     # ------------------------------------------------------------------
     def submit(self) -> np.ndarray:
         """Submit all queued SQEs; returns per-SQE completion times.
 
         The in-flight window is bounded by the ring depth.  SQEs are
-        drained from the SQ; their ``completion_time`` fields are filled.
+        drained from the SQ; their completion times are filled — by
+        array slicing for batches, per object for single SQEs.
         """
         if not self._sq:
             return np.empty(0, dtype=np.float64)
-        sizes = np.fromiter((s.nbytes for s in self._sq), dtype=np.int64,
-                            count=len(self._sq))
+        sizes = np.concatenate([
+            np.asarray([e.nbytes], dtype=np.int64) if isinstance(e, Sqe)
+            else e.sizes
+            for e in self._sq])
         done = self.device.submit_batch(sizes, io_depth=self.depth)
-        for sqe, t in zip(self._sq, done):
-            sqe.completion_time = float(t)
-        self.submitted += len(self._sq)
+        pos = 0
+        for e in self._sq:
+            if isinstance(e, Sqe):
+                e.completion_time = float(done[pos])
+                pos += 1
+            else:
+                e.completion_times = done[pos:pos + len(e)]
+                pos += len(e)
+        self.submitted += len(done)
         self._sq.clear()
         return done
 

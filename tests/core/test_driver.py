@@ -185,7 +185,7 @@ def test_buffered_extraction_pollutes_page_cache(tiny_ds):
     direct.run_epochs(1)
     m_d = direct.machine
     feat_pages_direct = sum(
-        1 for (name, _) in m_d.page_cache._resident
+        1 for (name, _) in m_d.page_cache.resident_keys()
         if name.endswith("features"))
     direct.shutdown()
 
@@ -193,7 +193,7 @@ def test_buffered_extraction_pollutes_page_cache(tiny_ds):
     buffered.run_epochs(1)
     m_b = buffered.machine
     feat_pages_buffered = sum(
-        1 for (name, _) in m_b.page_cache._resident
+        1 for (name, _) in m_b.page_cache.resident_keys()
         if name.endswith("features"))
     buffered.shutdown()
 

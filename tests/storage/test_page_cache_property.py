@@ -62,8 +62,10 @@ def test_cache_matches_reference_lru(accesses, capacity_pages):
         return None
 
     sim.run_process(proc(sim))
-    got = set(cache._resident.keys())
+    got = set(cache.resident_keys())
     assert got == ref.resident()
+    # Exact LRU order, not just the resident set.
+    assert cache.resident_keys() == ref.order
 
 
 @settings(max_examples=60, deadline=None)
@@ -96,4 +98,5 @@ def test_pressure_shrink_matches_reference(accesses, capacity_pages, pin):
         return None
 
     sim.run_process(proc(sim))
-    assert set(cache._resident.keys()) == ref.resident()
+    assert set(cache.resident_keys()) == ref.resident()
+    assert cache.resident_keys() == ref.order

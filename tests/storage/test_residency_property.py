@@ -1,0 +1,89 @@
+"""Property tests: batched residency APIs against per-page loops.
+
+``residency_mask`` and ``records_resident_mask`` are pure reads of the
+per-file page index; whatever state a random warm/access/invalidate
+trace leaves the cache in, they must agree bit-for-bit with the obvious
+``contains``-loop formulations the driver used before they existed.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import HostMemory
+from repro.simcore import Simulator
+from repro.storage import FileCatalog, PageCache, SSDDevice, SSDSpec
+from repro.storage.spec import PAGE_SIZE
+
+NAMES = ("a", "b")
+FILE_PAGES = 48
+RECORD_NBYTES = 1536   # records straddle page boundaries
+
+
+def make_cache(capacity_pages):
+    sim = Simulator()
+    host = HostMemory(capacity=capacity_pages * PAGE_SIZE)
+    dev = SSDDevice(sim, SSDSpec(1e-6, 1e9, 4))
+    cache = PageCache(sim, host, dev)
+    cat = FileCatalog()
+    handles = {n: cat.create(n, nbytes=FILE_PAGES * PAGE_SIZE,
+                             record_nbytes=RECORD_NBYTES) for n in NAMES}
+    return sim, cache, handles
+
+
+page_list = st.lists(st.integers(0, FILE_PAGES - 1), min_size=1, max_size=10)
+trace_step = st.one_of(
+    st.tuples(st.just("warm"), st.sampled_from(NAMES), page_list),
+    st.tuples(st.just("access"), st.sampled_from(NAMES), page_list),
+    st.tuples(st.just("invalidate"), st.sampled_from(NAMES), st.none()),
+)
+
+
+def apply_trace(sim, cache, handles, trace):
+    def proc(sim):
+        for op, name, pages in trace:
+            if op == "warm":
+                cache.warm(handles[name], np.array(pages))
+            elif op == "access":
+                yield cache.access(handles[name], np.array(pages))
+            else:
+                cache.invalidate_file(name)
+        return None
+
+    sim.run_process(proc(sim))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(trace_step, min_size=1, max_size=25),
+       st.integers(4, 2 * FILE_PAGES),
+       st.lists(st.integers(-2, FILE_PAGES + 2), min_size=1, max_size=30))
+def test_residency_mask_matches_contains(trace, capacity_pages, query):
+    sim, cache, handles = make_cache(capacity_pages)
+    apply_trace(sim, cache, handles, trace)
+    for name in NAMES:
+        got = cache.residency_mask(handles[name], np.array(query))
+        want = np.array([cache.contains(name, p) for p in query])
+        assert np.array_equal(got, want), f"divergence on file {name}"
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(trace_step, min_size=1, max_size=25),
+       st.integers(4, 2 * FILE_PAGES),
+       st.lists(st.integers(0, FILE_PAGES * PAGE_SIZE // RECORD_NBYTES - 1),
+                min_size=1, max_size=20))
+def test_records_resident_mask_matches_per_record_loop(
+        trace, capacity_pages, records):
+    sim, cache, handles = make_cache(capacity_pages)
+    apply_trace(sim, cache, handles, trace)
+    for name in NAMES:
+        handle = handles[name]
+        got = cache.records_resident_mask(handle, np.array(records))
+        want = np.array([
+            all(cache.contains(name, int(p))
+                for p in cache.pages_for_records(handle, np.array([r])))
+            for r in records])
+        assert np.array_equal(got, want), f"divergence on file {name}"
+        # Residency tests must not have perturbed LRU state.
+        cache.records_resident_mask(handle, np.array(records))
+    before = cache.resident_keys()
+    cache.residency_mask(handles["a"], np.arange(FILE_PAGES))
+    assert cache.resident_keys() == before
