@@ -1,0 +1,45 @@
+"""Correctness tooling for the simulator: static linter + runtime sanitizer.
+
+The reproduction's claims are *traces*: every figure is regenerated from
+a deterministic discrete-event simulation, and every OOM row is byte
+accounting in :mod:`repro.memory`.  This package holds the two tools
+that enforce the disciplines those results rest on:
+
+* :mod:`repro.analysis.linter` — an AST-based **determinism linter**
+  (``python -m repro.lint``) with sim-specific rules: no wall-clock or
+  global RNG outside ``simcore.rand``, no unordered iteration feeding
+  the event scheduler, no float equality on simulated timestamps, no
+  broad excepts that can swallow ``SimulationError``, no mutable
+  default arguments, and no statically-non-event yields inside process
+  generators.
+
+* :mod:`repro.analysis.sanitizer` — :class:`SimSanitizer`, an opt-in
+  **runtime sanitizer** (zero-cost when disabled) that audits event
+  scheduling, digests the executed trace for run-twice replay diffs,
+  detects pinned-memory leaks by tag at epoch boundaries, and runs
+  structural invariant checks on registered data structures
+  (``PageCache``, ``FeatureBuffer``, queues, rings).
+"""
+
+from repro.analysis.linter import (
+    Finding,
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.sanitizer import SanitizerFinding, SimSanitizer
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "SanitizerFinding",
+    "SimSanitizer",
+]

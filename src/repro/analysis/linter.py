@@ -1,0 +1,635 @@
+"""AST-based determinism linter for the simulator codebase.
+
+Every paper figure this repository regenerates is a *trace* of the
+discrete-event simulator, and the bit-identical verification the perf
+work leans on holds only if the code obeys a handful of disciplines
+that ordinary Python never enforces.  This linter enforces them
+statically.
+
+Rule catalog
+------------
+
+========  ==============================================================
+DET101    Wall-clock access (``time.time``/``perf_counter``/
+          ``datetime.now`` ...): simulated time is ``Simulator.now``;
+          wall-clock reads make traces machine-dependent.
+DET102    Global/unseeded RNG (``random.*``, legacy ``numpy.random.*``
+          module calls, ``default_rng()``/``SeedSequence()`` with no
+          seed): every draw must come from a named
+          ``repro.simcore.rand.RandomStreams`` stream or an explicitly
+          seeded generator.
+DET103    Iteration over a ``set``/``frozenset``/``.keys()`` view whose
+          loop body schedules events (``schedule``/``succeed``/
+          ``fail``/``timeout``/``process``/``put``/``interrupt`` or an
+          ``Event``/``Timeout`` construction): set order is hash-
+          randomised, so the heap insertion order — and therefore
+          same-instant tie-breaking — would differ between runs.
+DET104    Float ``==``/``!=`` on simulated timestamps (names like
+          ``now``, ``deadline``, ``*_time``, ``*_until``, ``t_*``):
+          timestamps are accumulated floats; exact comparison is a
+          latent flakiness bug.  Compare with a tolerance or restructure.
+DET105    Bare ``except:`` or broad ``except (Base)Exception:`` without
+          a re-raise: these swallow ``SimulationError`` and turn loud
+          corruption into silently-wrong traces.
+DET106    Mutable default argument (list/dict/set literal or
+          constructor): state leaks across calls and across epochs.
+DET107    A process generator (name ending ``_proc`` or passed to
+          ``sim.process``) yields a value that is statically *not* an
+          event (literal, tuple, comparison, f-string, bare ``yield``):
+          the engine would throw ``SimulationError`` at runtime; catch
+          it at lint time where decidable.
+========  ==============================================================
+
+Suppression syntax
+------------------
+
+A violation is suppressed by an inline comment on the flagged line, or
+on a comment-only line directly above it::
+
+    except BaseException as exc:  # sim-lint: disable=DET105 -- routed into Process.fail
+    # sim-lint: disable=DET101,DET102 -- wall-clock benchmark harness
+    t0 = time.perf_counter()
+
+``disable=all`` suppresses every rule for that line.  The ``--
+justification`` tail is conventionally required by review but not by
+the tool.  ``--no-suppress`` reports suppressed findings anyway (for
+auditing the suppression inventory).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rule code -> one-line description (the ``--rules`` catalog).
+RULES: Dict[str, str] = {
+    "DET101": "wall-clock access; use Simulator.now for simulated time",
+    "DET102": "global or unseeded RNG; use repro.simcore.rand streams",
+    "DET103": "iteration over an unordered set reaches event scheduling",
+    "DET104": "float ==/!= on simulated timestamps",
+    "DET105": "bare/broad except can swallow SimulationError",
+    "DET106": "mutable default argument",
+    "DET107": "process generator yields a statically non-event value",
+}
+
+#: Files (path suffixes, '/'-normalised) exempt from the RNG rule — the
+#: seeded-stream implementation itself must touch numpy.random.
+RNG_EXEMPT_SUFFIXES = ("repro/simcore/rand.py",)
+
+_WALLCLOCK_TIME_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+}
+_DATETIME_NOW_FNS = {"now", "utcnow", "today"}
+
+#: Legacy numpy.random module-level functions (the hidden global state).
+_NP_RANDOM_GLOBAL_FNS = {
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "poisson", "binomial", "exponential",
+    "beta", "gamma", "bytes", "get_state", "set_state",
+}
+
+#: Calls considered "event scheduling" for DET103 (attribute or name).
+_SCHEDULING_ATTRS = {
+    "schedule", "_schedule", "succeed", "fail", "timeout", "process",
+    "put", "interrupt",
+}
+_EVENT_CTORS = {"Event", "Timeout", "Process", "AllOf", "AnyOf", "Condition"}
+
+#: Timestamp-name heuristics for DET104.
+_TS_EXACT = {"now", "when", "deadline"}
+_TS_SUFFIXES = ("_time", "_times", "_until", "_at", "_deadline")
+_TS_PREFIXES = ("t_",)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*sim-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s*--.*)?$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        note = "  [suppressed]" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} {self.message}{note}")
+
+
+# ----------------------------------------------------------------------
+# Suppression handling
+# ----------------------------------------------------------------------
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Line number -> set of suppressed codes (``{'all'}`` wildcard).
+
+    A directive applies to its own line; a directive on a comment-only
+    line also applies to the next line.
+    """
+    out: Dict[int, Set[str]] = {}
+    lines = source.splitlines()
+    for i, text in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+        codes = {("all" if c == "ALL" else c) for c in codes}
+        out.setdefault(i, set()).update(codes)
+        if text.lstrip().startswith("#"):  # comment-only: covers next line
+            out.setdefault(i + 1, set()).update(codes)
+    return out
+
+
+def _is_suppressed(finding_line: int, code: str,
+                   table: Dict[int, Set[str]]) -> bool:
+    codes = table.get(finding_line)
+    return bool(codes) and ("all" in codes or code in codes)
+
+
+# ----------------------------------------------------------------------
+# The visitor
+# ----------------------------------------------------------------------
+class _ImportTracker:
+    """Which local names refer to the modules the rules care about."""
+
+    def __init__(self) -> None:
+        self.time_aliases: Set[str] = set()       # import time [as t]
+        self.random_aliases: Set[str] = set()     # import random [as r]
+        self.numpy_aliases: Set[str] = set()      # import numpy [as np]
+        self.datetime_aliases: Set[str] = set()   # datetime.datetime names
+        #: from-imports of individual wall-clock / RNG functions.
+        self.wallclock_names: Set[str] = set()    # from time import time
+        self.global_rng_names: Set[str] = set()   # from random import random
+        self.default_rng_names: Set[str] = set()  # from numpy.random import default_rng
+        self.seedseq_names: Set[str] = set()
+
+    def scan(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if alias.name == "time":
+                        self.time_aliases.add(name)
+                    elif alias.name == "random":
+                        self.random_aliases.add(name)
+                    elif alias.name == "numpy":
+                        self.numpy_aliases.add(name)
+                    elif alias.name == "numpy.random":
+                        # `import numpy.random` binds `numpy`.
+                        self.numpy_aliases.add(name.split(".")[0])
+                    elif alias.name == "datetime":
+                        self.datetime_aliases.add(name)
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if mod == "time" and alias.name in _WALLCLOCK_TIME_FNS:
+                        self.wallclock_names.add(name)
+                    elif mod == "random":
+                        self.global_rng_names.add(name)
+                    elif mod in ("numpy.random", "numpy"):
+                        if alias.name == "default_rng":
+                            self.default_rng_names.add(name)
+                        elif alias.name == "SeedSequence":
+                            self.seedseq_names.add(name)
+                        elif alias.name in _NP_RANDOM_GLOBAL_FNS:
+                            self.global_rng_names.add(name)
+                    elif mod == "datetime" and alias.name == "datetime":
+                        self.datetime_aliases.add(name)
+
+
+def _dotted(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ('a','b','c'); None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _has_seed_args(call: ast.Call) -> bool:
+    """True if default_rng()/SeedSequence() received any entropy source."""
+    if call.args:
+        # default_rng(None) is as unseeded as default_rng().
+        a = call.args[0]
+        return not (isinstance(a, ast.Constant) and a.value is None)
+    return any(kw.arg in ("seed", "entropy") and not (
+        isinstance(kw.value, ast.Constant) and kw.value.value is None)
+        for kw in call.keywords)
+
+
+def _is_set_expr(node: ast.AST, imports: _ImportTracker) -> Optional[str]:
+    """A description if *node* is statically an unordered iterable."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+                "set", "frozenset"):
+            return f"{node.func.id}()"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            # dict.keys() is insertion-ordered since 3.7, but whether the
+            # *insertion* order is deterministic is invisible here; the
+            # rule follows the conservative house style: iterate a list
+            # or sort explicitly before scheduling from it.
+            return ".keys()"
+    return None
+
+
+def _contains_scheduling(body: Iterable[ast.AST]) -> Optional[ast.Call]:
+    """First scheduling call inside *body* statements, if any."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in _SCHEDULING_ATTRS:
+                return node
+            if isinstance(fn, ast.Name) and fn.id in _EVENT_CTORS:
+                return node
+    return None
+
+
+def _timestampish(node: ast.AST) -> Optional[str]:
+    """The timestamp-like identifier inside an expression, if any."""
+    name: Optional[str] = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Subscript):
+        return _timestampish(node.value)
+    if name is None:
+        return None
+    low = name.lower()
+    if low in _TS_EXACT or low.lstrip("_") in _TS_EXACT:
+        return name
+    if low.endswith(_TS_SUFFIXES) or low.startswith(_TS_PREFIXES):
+        return name
+    return None
+
+
+_MUTABLE_CTORS = {"list", "dict", "set", "deque", "defaultdict",
+                  "bytearray", "Counter", "OrderedDict"}
+
+#: Yield values that are statically decidable to not be events.
+_NON_EVENT_YIELDS = (ast.Constant, ast.Tuple, ast.List, ast.Dict, ast.Set,
+                     ast.BinOp, ast.BoolOp, ast.Compare, ast.UnaryOp,
+                     ast.JoinedStr, ast.ListComp, ast.SetComp, ast.DictComp,
+                     ast.GeneratorExp, ast.Lambda)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, imports: _ImportTracker,
+                 process_fns: Set[str], rng_exempt: bool):
+        self.path = path
+        self.imports = imports
+        self.process_fns = process_fns
+        self.rng_exempt = rng_exempt
+        self.findings: List[Finding] = []
+        self._func_stack: List[ast.AST] = []
+
+    # -- helpers -------------------------------------------------------
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(
+            self.path, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0) + 1, code, message))
+
+    # -- DET101 / DET102: calls ---------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        imp = self.imports
+        dotted = _dotted(node.func)
+        if dotted:
+            head, tail = dotted[0], dotted[-1]
+            # DET101 -- wall clock.
+            if (len(dotted) == 2 and head in imp.time_aliases
+                    and tail in _WALLCLOCK_TIME_FNS):
+                self._add(node, "DET101",
+                          f"wall-clock call {'.'.join(dotted)}(); simulated "
+                          "time is Simulator.now")
+            elif (head in imp.datetime_aliases
+                  and tail in _DATETIME_NOW_FNS):
+                self._add(node, "DET101",
+                          f"wall-clock call {'.'.join(dotted)}()")
+            elif len(dotted) == 1 and head in imp.wallclock_names:
+                self._add(node, "DET101", f"wall-clock call {head}()")
+            # DET102 -- global / unseeded RNG.
+            if not self.rng_exempt:
+                self._check_rng(node, dotted)
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, dotted: Tuple[str, ...]) -> None:
+        imp = self.imports
+        head, tail = dotted[0], dotted[-1]
+        if len(dotted) == 2 and head in imp.random_aliases:
+            self._add(node, "DET102",
+                      f"global RNG call {'.'.join(dotted)}(); draw from a "
+                      "named repro.simcore.rand stream instead")
+            return
+        if len(dotted) == 1:
+            if head in imp.global_rng_names:
+                self._add(node, "DET102", f"global RNG call {head}()")
+            elif (head in (imp.default_rng_names | imp.seedseq_names)
+                  and not _has_seed_args(node)):
+                self._add(node, "DET102",
+                          f"{head}() without a seed draws OS entropy")
+            return
+        # numpy.random.<fn> chains: np.random.X or numpy.random.X
+        if (len(dotted) >= 3 and head in imp.numpy_aliases
+                and dotted[1] == "random"):
+            if tail in _NP_RANDOM_GLOBAL_FNS:
+                self._add(node, "DET102",
+                          f"legacy numpy global RNG {'.'.join(dotted)}()")
+            elif (tail in ("default_rng", "SeedSequence")
+                  and not _has_seed_args(node)):
+                self._add(node, "DET102",
+                          f"{'.'.join(dotted)}() without a seed draws "
+                          "OS entropy")
+
+    # -- DET103: unordered iteration into the scheduler ----------------
+    def visit_For(self, node: ast.For) -> None:
+        desc = _is_set_expr(node.iter, self.imports)
+        if desc:
+            call = _contains_scheduling(node.body)
+            if call is not None:
+                target = _dotted(call.func)
+                self._add(node, "DET103",
+                          f"iterating {desc} feeds event scheduling "
+                          f"({'.'.join(target) if target else 'call'}() at "
+                          f"line {call.lineno}); order is not deterministic "
+                          "— sort or use an ordered container")
+        self.generic_visit(node)
+
+    def _check_comp(self, node) -> None:
+        for gen in node.generators:
+            desc = _is_set_expr(gen.iter, self.imports)
+            if desc:
+                elts = [node.elt] if hasattr(node, "elt") else [node.key,
+                                                                node.value]
+                call = _contains_scheduling(elts)
+                if call is not None:
+                    self._add(node, "DET103",
+                              f"comprehension over {desc} creates/schedules "
+                              "events in unordered set order")
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comp
+    visit_SetComp = _check_comp
+    visit_GeneratorExp = _check_comp
+    visit_DictComp = _check_comp
+
+    # -- DET104: float equality on timestamps --------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            for side in [node.left] + list(node.comparators):
+                # `x.completion_time == SENTINEL` style None/int checks
+                # are fine; only flag float-ish comparands.
+                other_side_none = any(
+                    isinstance(c, ast.Constant) and c.value is None
+                    for c in [node.left] + list(node.comparators))
+                if other_side_none:
+                    continue
+                name = _timestampish(side)
+                if name:
+                    self._add(node, "DET104",
+                              f"float equality on timestamp-like {name!r}; "
+                              "timestamps are accumulated floats — compare "
+                              "with a tolerance")
+                    break
+        self.generic_visit(node)
+
+    # -- DET105: broad excepts -----------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = False
+        if node.type is None:
+            broad = True
+            what = "bare except:"
+        else:
+            types = (node.type.elts if isinstance(node.type, ast.Tuple)
+                     else [node.type])
+            names = {t.id for t in types if isinstance(t, ast.Name)}
+            hit = names & {"Exception", "BaseException"}
+            broad = bool(hit)
+            what = f"except {'/'.join(sorted(hit))}" if hit else ""
+        if broad:
+            reraises = any(isinstance(n, ast.Raise)
+                           for stmt in node.body for n in ast.walk(stmt))
+            if not reraises:
+                self._add(node, "DET105",
+                          f"{what} without re-raise can swallow "
+                          "SimulationError; catch specific exceptions")
+        self.generic_visit(node)
+
+    # -- DET106: mutable defaults --------------------------------------
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults
+                                              if d is not None]:
+            bad = None
+            if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                    ast.ListComp, ast.DictComp, ast.SetComp)):
+                bad = "literal"
+            elif (isinstance(default, ast.Call)
+                  and isinstance(default.func, ast.Name)
+                  and default.func.id in _MUTABLE_CTORS):
+                bad = f"{default.func.id}()"
+            if bad:
+                self._add(default, "DET106",
+                          f"mutable default argument ({bad}) in "
+                          f"{node.name}(); use None and create inside")
+
+    # -- DET107: non-event yields in process generators ----------------
+    def _visit_func(self, node) -> None:
+        self._check_defaults(node)
+        if node.name in self.process_fns:
+            for sub in _walk_skip_nested(node):
+                if isinstance(sub, ast.Expr) and isinstance(sub.value,
+                                                            ast.Yield):
+                    y = sub.value
+                    if y.value is None:
+                        self._add(y, "DET107",
+                                  f"bare yield in process generator "
+                                  f"{node.name}(); processes must yield "
+                                  "events")
+                    elif isinstance(y.value, _NON_EVENT_YIELDS):
+                        kind = type(y.value).__name__
+                        self._add(y, "DET107",
+                                  f"process generator {node.name}() yields "
+                                  f"a {kind}, which is statically not an "
+                                  "Event")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+
+def _walk_skip_nested(func_node: ast.AST):
+    """Walk a function body without descending into nested defs/lambdas
+    (their yields belong to a different generator)."""
+    stack = list(ast.iter_child_nodes(func_node))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _collect_process_fns(tree: ast.AST) -> Set[str]:
+    """Function names that are sim processes, statically decided.
+
+    A function is a process if its name ends with ``_proc`` or if a
+    call of it appears as the first argument of a ``*.process(...)``
+    call anywhere in the module (``sim.process(worker(w))``).
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.endswith("_proc"):
+                names.add(node.name)
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process" and node.args):
+            first = node.args[0]
+            if isinstance(first, ast.Call):
+                target = _dotted(first.func)
+                if target:
+                    names.add(target[-1])
+    return names
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>",
+                keep_suppressed: bool = False) -> List[Finding]:
+    """Lint one source string; returns findings (suppressed ones removed
+    unless *keep_suppressed*, in which case they are marked)."""
+    tree = ast.parse(source, filename=path)
+    imports = _ImportTracker()
+    imports.scan(tree)
+    norm = path.replace("\\", "/")
+    rng_exempt = norm.endswith(RNG_EXEMPT_SUFFIXES)
+    visitor = _Linter(path, imports, _collect_process_fns(tree), rng_exempt)
+    visitor.visit(tree)
+    table = _suppressions(source)
+    out: List[Finding] = []
+    for f in sorted(visitor.findings, key=lambda f: (f.line, f.col, f.code)):
+        if _is_suppressed(f.line, f.code, table):
+            if keep_suppressed:
+                out.append(Finding(f.path, f.line, f.col, f.code, f.message,
+                                   suppressed=True))
+        else:
+            out.append(f)
+    return out
+
+
+def lint_file(path, keep_suppressed: bool = False) -> List[Finding]:
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p),
+                       keep_suppressed=keep_suppressed)
+
+
+def iter_python_files(paths: Sequence) -> List[Path]:
+    files: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: Sequence, keep_suppressed: bool = False
+               ) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns (findings, files scanned)."""
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, keep_suppressed=keep_suppressed))
+    return findings, len(files)
+
+
+def render_text(findings: List[Finding], files_scanned: int) -> str:
+    lines = [f.render() for f in findings]
+    active = sum(1 for f in findings if not f.suppressed)
+    lines.append(f"{active} finding(s) in {files_scanned} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files_scanned: int) -> str:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        if not f.suppressed:
+            counts[f.code] = counts.get(f.code, 0) + 1
+    return json.dumps({
+        "findings": [asdict(f) for f in findings],
+        "counts": counts,
+        "files_scanned": files_scanned,
+    }, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism linter for the simulator codebase")
+    ap.add_argument("paths", nargs="*", default=["src/repro"],
+                    help="files or directories (default: src/repro)")
+    ap.add_argument("--format", choices=("text", "json"), default="text")
+    ap.add_argument("--select", nargs="+", metavar="CODE", default=None,
+                    help="only report these rule codes")
+    ap.add_argument("--ignore", nargs="+", metavar="CODE", default=None,
+                    help="drop these rule codes")
+    ap.add_argument("--no-suppress", action="store_true",
+                    help="report suppressed findings too (marked)")
+    ap.add_argument("--rules", action="store_true",
+                    help="print the rule catalog and exit")
+    args = ap.parse_args(argv)
+
+    if args.rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+
+    for codes in (args.select, args.ignore):
+        for c in codes or ():
+            if c.upper() not in RULES:
+                print(f"unknown rule code {c!r}", file=sys.stderr)
+                return 2
+
+    try:
+        findings, n_files = lint_paths(args.paths,
+                                       keep_suppressed=args.no_suppress)
+    except (OSError, SyntaxError) as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    if args.select:
+        sel = {c.upper() for c in args.select}
+        findings = [f for f in findings if f.code in sel]
+    if args.ignore:
+        ign = {c.upper() for c in args.ignore}
+        findings = [f for f in findings if f.code not in ign]
+
+    if args.format == "json":
+        print(render_json(findings, n_files))
+    else:
+        print(render_text(findings, n_files))
+    return 1 if any(not f.suppressed for f in findings) else 0

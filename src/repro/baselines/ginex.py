@@ -347,6 +347,7 @@ class Ginex(TrainingSystem):
             self._epoch_loss_sum = 0.0
             self._epoch_correct = 0
             self._epoch_seen = 0
+            m.sanitize_epoch_begin()
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
@@ -357,6 +358,7 @@ class Ginex(TrainingSystem):
                 self.check_time_budget(time_budget)
                 if not proc.is_alive and not proc.ok:
                     raise proc._value
+            m.sanitize_epoch_end()
 
             num_batches = self.plan.num_batches
             stats = EpochStats(

@@ -253,6 +253,7 @@ class MariusGNN(TrainingSystem):
             self._epoch_correct = 0
             self._epoch_seen = 0
             self._num_batches = 0
+            m.sanitize_epoch_begin()
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
             done = sim.event()
@@ -262,6 +263,7 @@ class MariusGNN(TrainingSystem):
                 self.check_time_budget(time_budget)
                 if not proc.is_alive and not proc.ok:
                     raise proc._value
+            m.sanitize_epoch_end()
 
             stats = EpochStats(
                 epoch=epoch,

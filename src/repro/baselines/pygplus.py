@@ -167,6 +167,7 @@ class PyGPlus(TrainingSystem):
             self._epoch_loss_sum = 0.0
             self._epoch_correct = 0
             self._epoch_seen = 0
+            m.sanitize_epoch_begin()
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
@@ -180,6 +181,7 @@ class PyGPlus(TrainingSystem):
                 self.check_time_budget(time_budget)
                 if not main.is_alive and not main.ok:
                     raise main._value  # propagate OOM etc.
+            m.sanitize_epoch_end()
 
             stats = EpochStats(
                 epoch=epoch,

@@ -1,11 +1,15 @@
 """``python -m repro.bench`` — benchmark command-line entry points.
 
-Currently one subcommand::
+Subcommands::
 
     python -m repro.bench hotpath [-o BENCH_hotpath.json]
+    python -m repro.bench determinism [-o BENCH_determinism.json]
 
-runs the data-plane microbenchmarks (vectorized vs. seed reference
-implementations) in well under a minute and writes the JSON artifact.
+``hotpath`` runs the data-plane microbenchmarks (vectorized vs. seed
+reference implementations); ``determinism`` replays every system twice
+under the runtime sanitizer and diffs the event traces (see
+:mod:`repro.bench.determinism`).  Both finish in well under a minute
+and write a JSON artifact.
 """
 
 from __future__ import annotations
@@ -26,12 +30,31 @@ def main(argv=None) -> int:
                     help="output JSON path (default: %(default)s)")
     hp.add_argument("--quiet", action="store_true",
                     help="suppress the per-bench table")
+    det = sub.add_parser(
+        "determinism",
+        help="replay systems twice under the sanitizer and diff traces")
+    det.add_argument("-o", "--output", default="BENCH_determinism.json",
+                     help="output JSON path (default: %(default)s)")
+    det.add_argument("--systems", nargs="+", default=None,
+                     help="systems to replay (default: gnndrive-gpu "
+                          "pyg+ ginex)")
+    det.add_argument("--epochs", type=int, default=2,
+                     help="epochs per run (default: %(default)s)")
+    det.add_argument("--quiet", action="store_true",
+                     help="suppress the per-system table")
     args = parser.parse_args(argv)
 
     if args.command == "hotpath":
         from repro.bench.hotpath import run_hotpath
         artifact = run_hotpath(output=args.output, verbose=not args.quiet)
         return 0 if artifact["targets_met"] else 1
+    if args.command == "determinism":
+        from repro.bench.determinism import DEFAULT_SYSTEMS, run_determinism
+        artifact = run_determinism(
+            systems=tuple(args.systems) if args.systems else DEFAULT_SYSTEMS,
+            epochs=args.epochs, output=args.output,
+            verbose=not args.quiet)
+        return 0 if artifact["deterministic"] else 1
     return 2
 
 

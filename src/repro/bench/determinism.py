@@ -1,0 +1,116 @@
+"""Determinism harness: replay each system and diff the event traces.
+
+``python -m repro.bench determinism`` runs every system under test
+twice with identical seeds on a small synthetic graph, each run under a
+strict :class:`repro.analysis.SimSanitizer` with full tracing, and then
+checks three things per system:
+
+1. **Trace equality** — the SHA-256 digest over every processed event
+   (time bits, priority, sequence number, event type, process name)
+   must match between the two runs; on mismatch the first divergent
+   step is reported with both runs' entries.
+2. **Stat equality** — the per-epoch :class:`EpochStats` must be
+   identical field-for-field (compared via ``repr`` of their dict
+   forms, which is NaN-safe).
+3. **Cleanliness** — the sanitizer must finish with zero findings:
+   no leaked pinned bytes at any epoch boundary, no scheduling
+   anomalies, no ring violations.
+
+Exit status 0 iff every system is deterministic and clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.runner import get_dataset, run_system
+from repro.core.base import TrainConfig
+
+#: Systems replayed by default: the paper's system plus the two
+#: baselines with the most elaborate runtime state.
+DEFAULT_SYSTEMS = ("gnndrive-gpu", "pyg+", "ginex")
+
+
+def stats_fingerprint(stats) -> List[str]:
+    """NaN-safe per-epoch fingerprints (``repr`` maps NaN to ``'nan'``,
+    so two NaN losses compare equal, unlike ``==``)."""
+    return [repr(asdict(s)) for s in stats]
+
+
+def check_system(system: str, dataset=None, epochs: int = 2,
+                 train_cfg: Optional[TrainConfig] = None,
+                 host_gb: float = 32) -> Dict:
+    """Run *system* twice under the sanitizer and diff the runs."""
+    if dataset is None:
+        dataset = get_dataset("tiny")
+    train_cfg = train_cfg or TrainConfig()
+    runs = []
+    for _ in range(2):
+        res = run_system(system, dataset, train_cfg=train_cfg,
+                         host_gb=host_gb, epochs=epochs, warmup_epochs=0,
+                         sanitize=True, sanitize_trace=True,
+                         keep_machine=True)
+        runs.append(res)
+    report: Dict = {"system": system, "epochs": epochs,
+                    "status": [r.status for r in runs]}
+    if not all(r.ok for r in runs):
+        report["deterministic"] = False
+        report["clean"] = False
+        report["error"] = "; ".join(r.error for r in runs if r.error)
+        return report
+
+    sans = [r.machine.sanitizer for r in runs]
+    from repro.analysis import SimSanitizer
+
+    digests = [s.trace_digest() for s in sans]
+    fingerprints = [stats_fingerprint(r.stats) for r in runs]
+    divergence = SimSanitizer.first_divergence(sans[0], sans[1])
+    report.update(
+        trace_digests=digests,
+        trace_equal=digests[0] == digests[1],
+        stats_equal=fingerprints[0] == fingerprints[1],
+        steps=[s.steps for s in sans],
+        tie_report=sans[0].tie_report(),
+        findings=[[f.render() for f in s.findings] for s in sans],
+    )
+    if divergence is not None:
+        report["first_divergence"] = divergence
+    report["deterministic"] = bool(report["trace_equal"]
+                                   and report["stats_equal"])
+    report["clean"] = all(s.clean for s in sans)
+    return report
+
+
+def run_determinism(systems: Sequence[str] = DEFAULT_SYSTEMS,
+                    epochs: int = 2,
+                    output: Optional[str] = "BENCH_determinism.json",
+                    verbose: bool = True) -> Dict:
+    """Replay *systems* and write the JSON artifact; see module docs."""
+    dataset = get_dataset("tiny")
+    reports = [check_system(s, dataset, epochs=epochs) for s in systems]
+    ok = all(r["deterministic"] and r["clean"] for r in reports)
+    artifact = {"deterministic": ok, "systems": reports}
+    if verbose:
+        for r in reports:
+            mark = ("ok" if r["deterministic"] and r["clean"]
+                    else "FAIL")
+            detail = ""
+            if "tie_report" in r:
+                tie = r["tie_report"]
+                detail = (f"  {tie['steps']} events, "
+                          f"{tie['tie_pops']} tied pops, "
+                          f"digest {r['trace_digests'][0][:16]}…")
+            print(f"{r['system']:<14} {mark}{detail}")
+            if "first_divergence" in r:
+                print(f"  first divergence: {r['first_divergence']}")
+            for i, findings in enumerate(r.get("findings", [])):
+                for f in findings:
+                    print(f"  run {i}: {f}")
+    if output:
+        with open(output, "w") as fh:
+            json.dump(artifact, fh, indent=2, default=str)
+        if verbose:
+            print(f"wrote {output}")
+    return artifact

@@ -212,8 +212,10 @@ def _time(fn: Callable[[], object], repeats: int = 2) -> float:
         gc.collect()
         gc.disable()
         try:
+            # sim-lint: disable=DET101 -- hotpath benches real wall time
             t0 = time.perf_counter()
             fn()
+            # sim-lint: disable=DET101 -- hotpath benches real wall time
             best = min(best, time.perf_counter() - t0)
         finally:
             gc.enable()

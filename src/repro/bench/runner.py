@@ -138,17 +138,25 @@ def run_system(system: str, dataset: DiskDataset,
                machine_spec: Optional[MachineSpec] = None,
                ginex_config: Optional[GinexConfig] = None,
                gnndrive_config: Optional[GNNDriveConfig] = None,
-               keep_machine: bool = False) -> SystemResult:
+               keep_machine: bool = False,
+               sanitize: bool = False,
+               sanitize_trace: bool = False) -> SystemResult:
     """Run one system for a few epochs; OOM/OOT become status markers.
 
     *data_scale* shrinks the machine's memory budgets in lockstep with
     the dataset scale, preserving the paper's capacity ratios at every
-    bench profile.
+    bench profile.  *sanitize* attaches a strict
+    :class:`repro.analysis.SimSanitizer` to the machine (pass
+    ``keep_machine=True`` to read its report afterwards).
     """
+    from dataclasses import replace as _replace
+
     from repro.machine import DEFAULT_SCALE
     spec = machine_spec or MachineSpec.paper_scaled(
         host_gb=host_gb, scale=DEFAULT_SCALE * data_scale,
         num_gpus=num_gpus)
+    if sanitize or sanitize_trace:
+        spec = _replace(spec, sanitize=True, sanitize_trace=sanitize_trace)
     machine = Machine(spec)
     try:
         sut = build_system(system, machine, dataset, train_cfg,

@@ -12,6 +12,9 @@ Commands
     Regenerate one paper artifact (fig2..fig14, tab1, tab2, figB1).
 ``fio``
     The Appendix-B storage microbenchmark.
+``lint``
+    The determinism linter over the source tree (also available as
+    ``python -m repro.lint``).
 """
 
 from __future__ import annotations
@@ -138,6 +141,12 @@ def cmd_fio(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.linter import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fio", help="Appendix-B storage microbenchmark")
     p.set_defaults(fn=cmd_fio)
+
+    p = sub.add_parser(
+        "lint", help="determinism linter (DET101-DET107) over the tree")
+    p.add_argument("lint_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to the linter "
+                        "(paths, --format, --select, ...)")
+    p.set_defaults(fn=cmd_lint)
     return ap
 
 

@@ -200,6 +200,11 @@ class GNNDrive(TrainingSystem):
         self.extract_q = Store(sim, config.extract_queue_depth, "extracting")
         self.train_q = Store(sim, self.train_queue_depth, "training")
         self.release_q = Store(sim, name="releasing")
+        if sim.sanitizer is not None:
+            for q in (self.pending_q, self.extract_q, self.train_q,
+                      self.release_q):
+                sim.sanitizer.register(q)
+            sim.sanitizer.register(self.feature_buffer)
         self._actors: List = []
         self._started = False
         self._epoch_expected = {}
@@ -455,6 +460,7 @@ class GNNDrive(TrainingSystem):
             self._epoch_loss_sum = 0.0
             self._epoch_correct = 0
             self._epoch_seen = 0
+            m.sanitize_epoch_begin()
             t_start = m.sim.now
             ssd_bytes0 = m.ssd.bytes_read
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
@@ -468,6 +474,7 @@ class GNNDrive(TrainingSystem):
                 m.sim.step()
                 self.check_time_budget(time_budget)
                 self._check_actors()
+            m.sanitize_epoch_end()
 
             stats = EpochStats(
                 epoch=epoch,
@@ -490,6 +497,16 @@ class GNNDrive(TrainingSystem):
                     and stats.val_acc >= target_accuracy):
                 break
         return self.epoch_stats
+
+    def teardown(self) -> None:
+        """Release the resident topology.
+
+        Data-parallel workers returned their private indptr pin at
+        construction (the group owns the shared copy), so freeing it
+        again here would be a double free.
+        """
+        if self.shared is None:
+            super().teardown()
 
     def shutdown(self) -> None:
         """Stop the actor pools and drain the simulator."""

@@ -177,6 +177,7 @@ class MultiGPUGNNDrive(TrainingSystem):
             w._start_actors()
         for epoch in range(len(self.epoch_stats),
                            len(self.epoch_stats) + num_epochs):
+            m.sanitize_epoch_begin()
             t_start = m.sim.now
             dones = []
             agg = StageBreakdown()
@@ -194,6 +195,7 @@ class MultiGPUGNNDrive(TrainingSystem):
                 self.check_time_budget(time_budget)
                 for w in self.workers:
                     w._check_actors()
+            m.sanitize_epoch_end()
             for w in self.workers:
                 agg.sample += w._stage.sample
                 agg.extract += w._stage.extract

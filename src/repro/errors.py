@@ -31,6 +31,28 @@ class InterruptError(ReproError):
         self.cause = cause
 
 
+class SanitizerError(ReproError):
+    """A :class:`repro.analysis.SimSanitizer` audit failed in strict mode
+    (memory leak at epoch end, bad event schedule, ring violation)."""
+
+
+class DoubleFreeError(ReproError):
+    """An :class:`repro.memory.Allocation` was freed twice.
+
+    Silent double-frees would double-credit the host budget and corrupt
+    the capacity arithmetic every OOM result in the paper rests on.
+    """
+
+    def __init__(self, alloc_id: int, tag: str, nbytes: int):
+        super().__init__(
+            f"double free of allocation #{alloc_id} "
+            f"(tag {tag!r}, {nbytes} B): already returned to the pool"
+        )
+        self.alloc_id = alloc_id
+        self.tag = tag
+        self.nbytes = nbytes
+
+
 class OutOfMemoryError(ReproError):
     """A host- or device-memory allocation exceeded the configured budget.
 

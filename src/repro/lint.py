@@ -1,0 +1,13 @@
+"""``python -m repro.lint`` — the determinism linter entry point.
+
+Thin wrapper around :mod:`repro.analysis.linter`; see that module for
+the rule catalog and suppression syntax.  Exit status: 0 clean, 1
+findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.linter import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,14 @@ class MachineSpec:
     #: Multiplier on per-edge/per-node sampling compute costs; >1 models
     #: older, slower CPUs (the Fig. 13 machine's 2012-era Xeons).
     sample_cost_scale: float = 1.0
+    #: Attach a :class:`repro.analysis.SimSanitizer` to the machine
+    #: (strict mode): leak checks at epoch boundaries, schedule and ring
+    #: audits, invariant sweeps.  Off by default — the engine then pays
+    #: only an ``is not None`` test per event.
+    sanitize: bool = False
+    #: With ``sanitize``, also keep the full event trace for replay
+    #: diffing (memory-hungry; the determinism harness turns it on).
+    sanitize_trace: bool = False
 
     @staticmethod
     def paper_scaled(host_gb: float = 32, scale: float = DEFAULT_SCALE,
@@ -101,6 +109,17 @@ class Machine:
         ]
         #: Optional span tracer (see :meth:`enable_tracing`).
         self.tracer: Optional[SpanTracer] = None
+        #: Optional runtime sanitizer (see ``MachineSpec.sanitize``).
+        self.sanitizer = None
+        if spec.sanitize:
+            from repro.analysis import SimSanitizer
+
+            self.sanitizer = SimSanitizer(
+                strict=True, trace=spec.sanitize_trace).attach(self)
+            self.sanitizer.register(self.host)
+            for gpu in self.gpus:
+                self.sanitizer.register(gpu)
+            self.sanitizer.register(self.cpu)
         k = spec.sample_cost_scale
         self.gpu_cost = ComputeCostModel(spec.gpu_profile)
         self.cpu_cost = ComputeCostModel(
@@ -150,6 +169,18 @@ class Machine:
         finally:
             self.probe.io.exit()
         return value
+
+    # ------------------------------------------------------------------
+    # Sanitizer epoch protocol: systems bracket each epoch with these;
+    # no-ops when the machine was built without ``sanitize``.
+    # ------------------------------------------------------------------
+    def sanitize_epoch_begin(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.epoch_begin()
+
+    def sanitize_epoch_end(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.epoch_end()
 
     # ------------------------------------------------------------------
     def utilization_snapshot(self, start: float, end: float,

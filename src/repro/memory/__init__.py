@@ -9,7 +9,8 @@ PCIe link provides the asynchronous host→device copies of the extraction
 second phase.
 """
 
-from repro.memory.host import Allocation, HostMemory
+from repro.memory.host import Allocation, HostMemory, TagUsage
 from repro.memory.device import DeviceMemory, PCIeLink
 
-__all__ = ["Allocation", "HostMemory", "DeviceMemory", "PCIeLink"]
+__all__ = ["Allocation", "HostMemory", "TagUsage", "DeviceMemory",
+           "PCIeLink"]

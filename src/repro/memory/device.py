@@ -62,6 +62,23 @@ class DeviceMemory:
     def usage_by_tag(self) -> Dict[str, int]:
         return dict(self._by_tag)
 
+    def check_invariants(self) -> None:
+        """Structural accounting invariants (sanitizer epoch sweep)."""
+        from repro.errors import SimulationError
+
+        tag_total = sum(self._by_tag.values())
+        if tag_total != self._used:
+            raise SimulationError(
+                f"{self.name}: used counter {self._used} != tag total "
+                f"{tag_total}")
+        if not 0 <= self._used <= self.capacity:
+            raise SimulationError(
+                f"{self.name}: used {self._used} B outside "
+                f"[0, {self.capacity}]")
+        if any(n < 0 for n in self._by_tag.values()):
+            raise SimulationError(
+                f"{self.name}: negative tag balance in {self._by_tag}")
+
 
 class PCIeLink:
     """A FIFO DMA engine between host and device memory.

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from repro.errors import OutOfMemoryError
+from repro.errors import DoubleFreeError, OutOfMemoryError
 
 
 @dataclass
@@ -24,6 +24,14 @@ class Allocation:
     tag: str
     alloc_id: int
     freed: bool = False
+
+
+@dataclass(frozen=True)
+class TagUsage:
+    """Per-tag pinned breakdown: total bytes and live allocation count."""
+
+    nbytes: int
+    count: int
 
 
 class HostMemory:
@@ -74,6 +82,21 @@ class HostMemory:
         """Pinned bytes per allocation tag, for memory-footprint reports."""
         return dict(self._by_tag)
 
+    def pinned_by_tag(self) -> Dict[str, TagUsage]:
+        """Per-tag bytes *and* live-allocation counts.
+
+        The richer form of :meth:`usage_by_tag` the sanitizer's leak
+        reporter uses: a tag with a growing count across epochs names
+        the component that allocates without freeing.
+        """
+        out: Dict[str, TagUsage] = {}
+        counts: Dict[str, int] = {}
+        for alloc in self._live.values():
+            counts[alloc.tag] = counts.get(alloc.tag, 0) + 1
+        for tag, nbytes in self._by_tag.items():
+            out[tag] = TagUsage(nbytes, counts.get(tag, 0))
+        return out
+
     # ------------------------------------------------------------------
     def allocate(self, nbytes: int, tag: str = "anon") -> Allocation:
         """Pin *nbytes*; raises :class:`OutOfMemoryError` on over-commit.
@@ -96,9 +119,15 @@ class HostMemory:
         return alloc
 
     def free(self, alloc: Allocation) -> None:
-        """Release a pinned allocation (idempotent per allocation)."""
+        """Release a pinned allocation.
+
+        Freeing an already-freed allocation raises
+        :class:`~repro.errors.DoubleFreeError`: silently ignoring it (or
+        worse, double-crediting) would corrupt the byte accounting that
+        the OOM-vs-fits results are computed from.
+        """
         if alloc.freed:
-            return
+            raise DoubleFreeError(alloc.alloc_id, alloc.tag, alloc.nbytes)
         if alloc.alloc_id not in self._live:
             raise KeyError(f"unknown allocation {alloc.alloc_id}")
         del self._live[alloc.alloc_id]
@@ -121,6 +150,30 @@ class HostMemory:
         alloc.nbytes = int(nbytes)
         self.peak_pinned = max(self.peak_pinned, self._pinned)
         self._notify()
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Structural accounting invariants (sanitizer epoch sweep)."""
+        from repro.errors import SimulationError
+
+        live_total = sum(a.nbytes for a in self._live.values())
+        if live_total != self._pinned:
+            raise SimulationError(
+                f"pinned counter {self._pinned} != sum of live "
+                f"allocations {live_total}")
+        if self._pinned < 0:
+            raise SimulationError(f"negative pinned bytes: {self._pinned}")
+        by_tag: Dict[str, int] = {}
+        for a in self._live.values():
+            by_tag[a.tag] = by_tag.get(a.tag, 0) + a.nbytes
+        if by_tag != {t: n for t, n in self._by_tag.items() if n}:
+            raise SimulationError(
+                f"tag table {self._by_tag} disagrees with live "
+                f"allocations {by_tag}")
+        if self._pinned > self.capacity - self.reserve:
+            raise SimulationError(
+                f"pinned {self._pinned} B exceeds budget "
+                f"{self.capacity - self.reserve} B")
 
     # ------------------------------------------------------------------
     def add_pressure_listener(self, fn: Callable[[], None]) -> None:

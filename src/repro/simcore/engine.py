@@ -174,6 +174,9 @@ class Process(Event):
             sim._active_process = None
             self.succeed(stop.value)
             return
+        # The process boundary: any failure is routed into Process.fail
+        # and re-raised in waiters / Simulator.run — nothing is swallowed.
+        # sim-lint: disable=DET105 -- exceptions become the process event's value
         except BaseException as exc:
             sim._active_process = None
             self.fail(exc)
@@ -214,6 +217,9 @@ class Simulator:
         self._heap: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Optional :class:`repro.analysis.SimSanitizer`; when None (the
+        #: default) the hooks below cost one pointer test per operation.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Factories
@@ -240,7 +246,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        when = self.now + delay
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(self.now, when, priority, self._seq,
+                                       event)
+        heapq.heappush(self._heap, (when, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -254,6 +264,8 @@ class Simulator:
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
+        if self.sanitizer is not None:
+            self.sanitizer.on_step(when, _prio, _seq, event)
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)

@@ -65,6 +65,17 @@ class Resource:
         else:
             self.in_use -= 1
 
+    def check_invariants(self) -> None:
+        """Counting invariants (sanitizer epoch sweep)."""
+        if not 0 <= self.in_use <= self.capacity:
+            raise SimulationError(
+                f"resource {self.name!r}: in_use {self.in_use} outside "
+                f"[0, {self.capacity}]")
+        if self._waiters and self.in_use < self.capacity:
+            raise SimulationError(
+                f"resource {self.name!r}: {len(self._waiters)} waiter(s) "
+                f"while {self.available} unit(s) are free")
+
 
 class Store:
     """A bounded FIFO store of Python objects.
@@ -127,3 +138,18 @@ class Store:
             return False, None
         ev = self.get()
         return True, ev.value
+
+    def check_invariants(self) -> None:
+        """Queue-discipline invariants (sanitizer epoch sweep)."""
+        if len(self.items) > self.capacity:
+            raise SimulationError(
+                f"store {self.name!r}: {len(self.items)} item(s) over "
+                f"capacity {self.capacity}")
+        if self._getters and self.items:
+            raise SimulationError(
+                f"store {self.name!r}: {len(self._getters)} blocked "
+                f"getter(s) while {len(self.items)} item(s) are queued")
+        if self._putters and not self.is_full:
+            raise SimulationError(
+                f"store {self.name!r}: {len(self._putters)} blocked "
+                f"putter(s) while the store is not full")

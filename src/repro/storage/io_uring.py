@@ -168,6 +168,9 @@ class AsyncRing:
             else e.sizes
             for e in self._sq])
         done = self.device.submit_batch(sizes, io_depth=self.depth)
+        san = self.sim.sanitizer
+        if san is not None:
+            san.check_ring(self, done)
         pos = 0
         for e in self._sq:
             if isinstance(e, Sqe):

@@ -265,6 +265,38 @@ class PageCache:
         return csum[last + 1] - csum[first] == last - first + 1
 
     # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Cross-check the per-file page indexes against the global LRU.
+
+        Run by :class:`repro.analysis.SimSanitizer` at epoch boundaries;
+        raises :class:`~repro.errors.SimulationError` on corruption.
+        """
+        from repro.errors import SimulationError
+
+        self._lru.check_invariants()
+        if len(self._lru) > self.capacity_pages:
+            raise SimulationError(
+                f"page cache holds {len(self._lru)} pages over its budget "
+                f"of {self.capacity_pages}")
+        bits = sum(int(s.resident.sum()) for s in self._file_list)
+        if bits != len(self._lru):
+            raise SimulationError(
+                f"per-file residency bits ({bits}) disagree with the "
+                f"global LRU size ({len(self._lru)})")
+        for key in self._lru.order():
+            fid = int(self._key_fid[key])
+            page = int(self._key_page[key])
+            state = self._file_list[fid]
+            if not state.resident[page]:
+                raise SimulationError(
+                    f"LRU key {int(key)} maps to non-resident page "
+                    f"{page} of {state.name!r}")
+            if int(state.key_of[page]) != int(key):
+                raise SimulationError(
+                    f"key table of {state.name!r} page {page} points at "
+                    f"{int(state.key_of[page])}, LRU says {int(key)}")
+
+    # ------------------------------------------------------------------
     def access(self, handle: FileHandle, pages: np.ndarray) -> Timeout:
         """Touch *pages* of *handle*; returns the ready event.
 

@@ -125,7 +125,11 @@ def dropout(x: Tensor, p: float, rng: Optional[np.random.Generator] = None,
     x = as_tensor(x)
     if not training or p == 0.0:
         return x
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        raise ValueError(
+            "dropout in training mode needs an explicit seeded Generator "
+            "(e.g. RandomStreams.get('dropout')); drawing OS entropy here "
+            "would make runs irreproducible")
     keep = (rng.random(x.data.shape) >= p).astype(np.float32) / (1.0 - p)
 
     def backward(g: np.ndarray) -> None:

@@ -1,0 +1,362 @@
+"""Per-rule fixture tests for the determinism linter.
+
+Each rule gets (a) a snippet that triggers it, (b) a closely related
+snippet that must NOT trigger it, and (c) a suppression check.
+"""
+
+import json
+import textwrap
+
+from repro.analysis import RULES, lint_source, render_json
+
+
+def codes(source: str, **kw):
+    src = textwrap.dedent(source)
+    return [f.code for f in lint_source(src, "snippet.py", **kw)]
+
+
+# ----------------------------------------------------------------------
+# DET101 — wall clock
+# ----------------------------------------------------------------------
+def test_det101_time_module():
+    assert codes("""
+        import time
+        t = time.perf_counter()
+    """) == ["DET101"]
+
+
+def test_det101_from_import_and_alias():
+    assert codes("""
+        from time import monotonic
+        import time as walltime
+        a = monotonic()
+        b = walltime.time()
+    """) == ["DET101", "DET101"]
+
+
+def test_det101_datetime_now():
+    assert codes("""
+        from datetime import datetime
+        stamp = datetime.now()
+    """) == ["DET101"]
+
+
+def test_det101_not_fooled_by_other_modules():
+    # `sim.time()` / `self.time` are not the stdlib time module.
+    assert codes("""
+        class Clock:
+            def time(self):
+                return 0.0
+        c = Clock()
+        t = c.time()
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# DET102 — global / unseeded RNG
+# ----------------------------------------------------------------------
+def test_det102_random_module():
+    assert codes("""
+        import random
+        x = random.random()
+    """) == ["DET102"]
+
+
+def test_det102_legacy_numpy_global():
+    assert codes("""
+        import numpy as np
+        np.random.seed(0)
+        x = np.random.rand(3)
+    """) == ["DET102", "DET102"]
+
+
+def test_det102_unseeded_default_rng():
+    assert codes("""
+        import numpy as np
+        from numpy.random import default_rng
+        a = np.random.default_rng()
+        b = default_rng(None)
+    """) == ["DET102", "DET102"]
+
+
+def test_det102_seeded_generators_are_fine():
+    assert codes("""
+        import numpy as np
+        a = np.random.default_rng(42)
+        b = np.random.default_rng(seed=7)
+        x = a.random(3)
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# DET103 — unordered iteration into the scheduler
+# ----------------------------------------------------------------------
+def test_det103_set_literal_scheduling():
+    assert codes("""
+        def kick(sim, a, b):
+            for ev in {a, b}:
+                ev.succeed(None)
+    """) == ["DET103"]
+
+
+def test_det103_keys_view_scheduling():
+    assert codes("""
+        def kick(sim, waiters):
+            for key in waiters.keys():
+                waiters[key].succeed(None)
+    """) == ["DET103"]
+
+
+def test_det103_list_iteration_is_fine():
+    assert codes("""
+        def kick(sim, events):
+            for ev in sorted(events):
+                ev.succeed(None)
+    """) == []
+
+
+def test_det103_set_iteration_without_scheduling_is_fine():
+    assert codes("""
+        def total(sizes):
+            acc = 0
+            for s in {1, 2, 3}:
+                acc += s
+            return acc
+    """) == []
+
+
+def test_det103_comprehension_over_set():
+    assert codes("""
+        def kick(sim, pending):
+            evs = [sim.timeout(t) for t in set(pending)]
+            return evs
+    """) == ["DET103"]
+
+
+# ----------------------------------------------------------------------
+# DET104 — float equality on timestamps
+# ----------------------------------------------------------------------
+def test_det104_timestamp_equality():
+    assert codes("""
+        def same(sim, deadline):
+            return sim.now == deadline
+    """) == ["DET104"]
+
+
+def test_det104_suffix_names():
+    assert codes("""
+        def check(done_time, t_submit):
+            return done_time != t_submit
+    """) == ["DET104"]
+
+
+def test_det104_none_checks_and_ordering_are_fine():
+    assert codes("""
+        def check(sim, deadline, start_time):
+            a = deadline is None
+            b = start_time == None  # noqa: E711 - sentinel check
+            c = sim.now < deadline
+            return a or b or c
+    """) == []
+
+
+def test_det104_non_timestamp_names_are_fine():
+    assert codes("""
+        def check(count, other):
+            return count == other
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# DET105 — broad except without re-raise
+# ----------------------------------------------------------------------
+def test_det105_bare_and_broad_except():
+    assert codes("""
+        def f():
+            try:
+                g()
+            except:
+                pass
+
+        def h():
+            try:
+                g()
+            except Exception as exc:
+                log(exc)
+    """) == ["DET105", "DET105"]
+
+
+def test_det105_reraise_is_fine():
+    assert codes("""
+        def f():
+            try:
+                g()
+            except BaseException:
+                cleanup()
+                raise
+    """) == []
+
+
+def test_det105_specific_exception_is_fine():
+    assert codes("""
+        def f():
+            try:
+                g()
+            except ValueError:
+                pass
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# DET106 — mutable defaults
+# ----------------------------------------------------------------------
+def test_det106_literal_and_ctor_defaults():
+    assert codes("""
+        def f(items=[], table={}, seen=set()):
+            return items, table, seen
+    """) == ["DET106", "DET106", "DET106"]
+
+
+def test_det106_kwonly_default():
+    assert codes("""
+        def f(*, queue=list()):
+            return queue
+    """) == ["DET106"]
+
+
+def test_det106_none_and_immutable_defaults_are_fine():
+    assert codes("""
+        def f(items=None, n=3, name="x", pair=(1, 2)):
+            return items or []
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# DET107 — non-event yields in process generators
+# ----------------------------------------------------------------------
+def test_det107_proc_suffix_yields_literal():
+    assert codes("""
+        def worker_proc(sim):
+            yield 1.5
+    """) == ["DET107"]
+
+
+def test_det107_bare_yield():
+    assert codes("""
+        def worker_proc(sim):
+            yield
+    """) == ["DET107"]
+
+
+def test_det107_registered_via_sim_process():
+    assert codes("""
+        def worker(sim):
+            yield (1, 2)
+
+        def start(sim):
+            sim.process(worker(sim))
+    """) == ["DET107"]
+
+
+def test_det107_event_yields_are_fine():
+    assert codes("""
+        def worker_proc(sim, q):
+            yield sim.timeout(1.0)
+            item = yield q.get()
+            return item
+    """) == []
+
+
+def test_det107_non_process_generators_are_fine():
+    # Plain data generators may yield anything.
+    assert codes("""
+        def pairs(n):
+            for i in range(n):
+                yield (i, i + 1)
+    """) == []
+
+
+def test_det107_nested_function_yields_not_attributed():
+    # The nested helper's yields belong to a different generator.
+    assert codes("""
+        def worker_proc(sim):
+            def gen():
+                yield 1
+            for v in gen():
+                yield sim.timeout(v)
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression syntax
+# ----------------------------------------------------------------------
+def test_suppression_same_line():
+    assert codes("""
+        import time
+        t = time.time()  # sim-lint: disable=DET101 -- harness wall clock
+    """) == []
+
+
+def test_suppression_comment_line_above():
+    assert codes("""
+        import time
+        # sim-lint: disable=DET101 -- harness wall clock
+        t = time.time()
+    """) == []
+
+
+def test_suppression_wrong_code_does_not_apply():
+    assert codes("""
+        import time
+        t = time.time()  # sim-lint: disable=DET102 -- wrong code
+    """) == ["DET101"]
+
+
+def test_suppression_all_wildcard():
+    assert codes("""
+        import random
+        x = random.random()  # sim-lint: disable=all -- fixture
+    """) == []
+
+
+def test_no_suppress_keeps_marked_findings():
+    findings = lint_source(textwrap.dedent("""
+        import time
+        t = time.time()  # sim-lint: disable=DET101 -- audit me
+    """), "snippet.py", keep_suppressed=True)
+    assert [f.code for f in findings] == ["DET101"]
+    assert findings[0].suppressed
+
+
+# ----------------------------------------------------------------------
+# Output modes / catalog
+# ----------------------------------------------------------------------
+def test_render_json_counts():
+    findings = lint_source("import time\nt = time.time()\n", "x.py")
+    payload = json.loads(render_json(findings, files_scanned=1))
+    assert payload["counts"] == {"DET101": 1}
+    assert payload["files_scanned"] == 1
+    assert payload["findings"][0]["code"] == "DET101"
+
+
+def test_rule_catalog_is_complete():
+    assert set(RULES) == {f"DET10{i}" for i in range(1, 8)}
+
+
+def test_cli_rules_and_clean_exit(tmp_path, capsys):
+    from repro.analysis.linter import main
+
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DET101" in out and "DET107" in out
+
+    good = tmp_path / "clean.py"
+    good.write_text("x = 1\n")
+    assert main([str(good)]) == 0
+
+    bad = tmp_path / "dirty.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert main([str(bad)]) == 1
+    assert main([str(bad), "--ignore", "DET102"]) == 0
+    assert main([str(bad), "--select", "DET101"]) == 0
+    assert main(["--select", "NOPE", str(bad)]) == 2

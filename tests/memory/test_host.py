@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import OutOfMemoryError
-from repro.memory import HostMemory
+from repro.errors import DoubleFreeError, OutOfMemoryError
+from repro.memory import HostMemory, TagUsage
 
 
 def test_allocate_and_free_roundtrip():
@@ -38,12 +38,27 @@ def test_reserve_reduces_available():
         mem.allocate(900)
 
 
-def test_double_free_is_idempotent():
+def test_double_free_raises():
     mem = HostMemory(capacity=100)
-    a = mem.allocate(50)
+    a = mem.allocate(50, tag="staging")
     mem.free(a)
-    mem.free(a)  # no raise
-    assert mem.pinned_bytes == 0
+    with pytest.raises(DoubleFreeError) as exc:
+        mem.free(a)
+    assert exc.value.alloc_id == a.alloc_id
+    assert exc.value.tag == "staging"
+    assert exc.value.nbytes == 50
+    assert mem.pinned_bytes == 0  # accounting untouched by the bad free
+
+
+def test_pinned_by_tag_breakdown():
+    mem = HostMemory(capacity=1000)
+    mem.allocate(100, tag="staging")
+    mem.allocate(200, tag="staging")
+    b = mem.allocate(300, tag="cache")
+    assert mem.pinned_by_tag() == {"staging": TagUsage(300, 2),
+                                   "cache": TagUsage(300, 1)}
+    mem.free(b)
+    assert mem.pinned_by_tag() == {"staging": TagUsage(300, 2)}
 
 
 def test_usage_by_tag_accounting():
