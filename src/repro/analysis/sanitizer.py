@@ -81,6 +81,10 @@ class SimSanitizer:
         self.findings: List[SanitizerFinding] = []
         self.machine = None
         self._registered: List[Any] = []
+        #: Allocation tags allowed to change size across an epoch (e.g.
+        #: fault-driven feature-buffer degradation); the leak check
+        #: skips them.
+        self.adaptive_tags: set = set()
         # Trace digest state.
         self._hash = hashlib.sha256()
         self.steps = 0
@@ -208,6 +212,8 @@ class SimSanitizer:
                 before = self._baseline.get(resource, {})
                 after = current.get(resource, {})
                 for tag in sorted(set(before) | set(after)):
+                    if tag in self.adaptive_tags:
+                        continue
                     delta = after.get(tag, 0) - before.get(tag, 0)
                     if delta:
                         live = ""

@@ -32,9 +32,10 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.base import TrainConfig, TrainingSystem, activation_bytes
-from repro.core.sampling_io import frontier_pages
+from repro.core.sampling_io import frontier_pages, page_access_with_retry
 from repro.core.stats import EpochStats, StageBreakdown
 from repro.errors import OutOfMemoryError
+from repro.faults import alloc_with_retry
 from repro.graph.datasets import DiskDataset
 from repro.machine import DEFAULT_SCALE, GB, Machine
 from repro.models.train import train_step
@@ -234,8 +235,8 @@ class Ginex(TrainingSystem):
             if len(uncached):
                 pages = frontier_pages(m.page_cache, self.dataset.graph,
                                        uncached)
-                ev = m.page_cache.access(self.dataset.topo_handle, pages)
-                yield from m.io_wait(ev)
+                yield from page_access_with_retry(
+                    m, m.page_cache, self.dataset.topo_handle, pages)
         yield from m.cpu_task(m.cpu_cost.sample_compute_time(
             sum(len(f) for f in sub.hop_frontiers), sub.total_edges()))
         # Spill this batch's sampling result (sequential write).
@@ -265,7 +266,9 @@ class Ginex(TrainingSystem):
         m = self.machine
         accesses = sum(s.num_sampled_nodes for s in subs)
         workspace = accesses * WORKSPACE_BYTES_PER_ACCESS
-        alloc = m.host.allocate(workspace, tag="ginex-inspect")
+        # Transient fault pressure makes this workspace allocation fail
+        # temporarily; back off instead of aborting the superbatch.
+        alloc = yield from alloc_with_retry(m, workspace, "ginex-inspect")
         yield from m.cpu_task(accesses * INSPECT_COST_PER_ACCESS)
         plan = belady_plan([s.all_nodes for s in subs], self.cache_entries)
         return alloc, plan
@@ -351,6 +354,7 @@ class Ginex(TrainingSystem):
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
+            f0 = m.fault_counters()
             done = sim.event()
             proc = sim.process(self._epoch_proc(done), name="ginex-epoch")
             while not done.triggered:
@@ -374,6 +378,7 @@ class Ginex(TrainingSystem):
                 cache_misses=m.page_cache.misses - miss0,
                 reused_nodes=self.stat_feature_hits,
                 loaded_nodes=self.stat_feature_misses,
+                faults=m.fault_counters_delta(f0),
             )
             if eval_every and (epoch + 1) % eval_every == 0 \
                     and not self.sample_only:

@@ -256,6 +256,7 @@ class MariusGNN(TrainingSystem):
             m.sanitize_epoch_begin()
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
+            f0 = m.fault_counters()
             done = sim.event()
             proc = sim.process(self._epoch_proc(epoch, done), name="marius")
             while not done.triggered:
@@ -273,6 +274,7 @@ class MariusGNN(TrainingSystem):
                 train_acc=self._epoch_correct / max(1, self._epoch_seen),
                 num_batches=self._num_batches,
                 bytes_read=m.ssd.bytes_read - bytes0,
+                faults=m.fault_counters_delta(f0),
             )
             stats.extra["data_prep_time"] = self._stage.data_prep
             stats.extra["training_time"] = (stats.epoch_time

@@ -26,7 +26,7 @@ from typing import Generator, List, Optional
 import numpy as np
 
 from repro.core.base import TrainConfig, TrainingSystem, activation_bytes
-from repro.core.sampling_io import topo_access_event
+from repro.core.sampling_io import page_access_with_retry, topo_access_with_retry
 from repro.core.stats import EpochStats, StageBreakdown
 from repro.graph.datasets import DiskDataset
 from repro.machine import Machine
@@ -98,16 +98,16 @@ class PyGPlus(TrainingSystem):
         the in-memory reference pins topology and skips this)."""
         m = self.machine
         for frontier in sub.hop_frontiers:
-            ev = topo_access_event(m.page_cache, self.dataset.topo_handle,
-                                   self.dataset.graph, frontier)
-            yield from m.io_wait(ev)
+            yield from topo_access_with_retry(
+                m, m.page_cache, self.dataset.topo_handle,
+                self.dataset.graph, frontier)
 
     def _extract_features(self, sub: SampledSubgraph) -> Generator:
         """Synchronous mmap extraction through the page cache."""
         m = self.machine
-        ev = m.page_cache.access_records(self.dataset.feat_handle,
-                                         sub.all_nodes)
-        yield from m.io_wait(ev)
+        handle = self.dataset.feat_handle
+        pages = m.page_cache.pages_for_records(handle, sub.all_nodes)
+        yield from page_access_with_retry(m, m.page_cache, handle, pages)
 
     def _train_batch(self, sub: SampledSubgraph) -> Generator:
         m = self.machine
@@ -171,6 +171,7 @@ class PyGPlus(TrainingSystem):
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
+            f0 = m.fault_counters()
             done = sim.event()
             for batch_id, seeds in enumerate(batches):
                 self.pending_q.put((epoch, batch_id, seeds))
@@ -194,6 +195,7 @@ class PyGPlus(TrainingSystem):
                 bytes_read=m.ssd.bytes_read - bytes0,
                 cache_hits=m.page_cache.hits - hits0,
                 cache_misses=m.page_cache.misses - miss0,
+                faults=m.fault_counters_delta(f0),
             )
             if eval_every and (epoch + 1) % eval_every == 0 \
                     and not self.sample_only:

@@ -4,12 +4,15 @@ Subcommands::
 
     python -m repro.bench hotpath [-o BENCH_hotpath.json]
     python -m repro.bench determinism [-o BENCH_determinism.json]
+    python -m repro.bench faults [-o BENCH_faults.json] [--plan plan.json]
 
 ``hotpath`` runs the data-plane microbenchmarks (vectorized vs. seed
 reference implementations); ``determinism`` replays every system twice
 under the runtime sanitizer and diffs the event traces (see
-:mod:`repro.bench.determinism`).  Both finish in well under a minute
-and write a JSON artifact.
+:mod:`repro.bench.determinism`); ``faults`` chaos-runs every system
+under a deterministic fault plan and checks the recovery runtime
+survives it (see :mod:`repro.bench.faults`).  All finish in well under
+a minute and write a JSON artifact.
 """
 
 from __future__ import annotations
@@ -42,6 +45,20 @@ def main(argv=None) -> int:
                      help="epochs per run (default: %(default)s)")
     det.add_argument("--quiet", action="store_true",
                      help="suppress the per-system table")
+    flt = sub.add_parser(
+        "faults",
+        help="chaos-run every system under a deterministic fault plan")
+    flt.add_argument("-o", "--output", default="BENCH_faults.json",
+                     help="output JSON path (default: %(default)s)")
+    flt.add_argument("--systems", nargs="+", default=None,
+                     help="systems to run (default: all five)")
+    flt.add_argument("--epochs", type=int, default=2,
+                     help="epochs per run (default: %(default)s)")
+    flt.add_argument("--plan", default=None,
+                     help="fault-plan JSON file (default: the built-in "
+                          "chaos plan)")
+    flt.add_argument("--quiet", action="store_true",
+                     help="suppress the per-system table")
     args = parser.parse_args(argv)
 
     if args.command == "hotpath":
@@ -55,6 +72,16 @@ def main(argv=None) -> int:
             epochs=args.epochs, output=args.output,
             verbose=not args.quiet)
         return 0 if artifact["deterministic"] else 1
+    if args.command == "faults":
+        from repro.bench.faults import run_faults
+        from repro.bench.runner import SYSTEM_NAMES
+        from repro.faults import load_plan
+        plan = load_plan(args.plan) if args.plan else None
+        artifact = run_faults(
+            systems=tuple(args.systems) if args.systems else SYSTEM_NAMES,
+            plan=plan, epochs=args.epochs, output=args.output,
+            verbose=not args.quiet)
+        return 0 if artifact["completed"] else 1
     return 2
 
 

@@ -140,14 +140,17 @@ def run_system(system: str, dataset: DiskDataset,
                gnndrive_config: Optional[GNNDriveConfig] = None,
                keep_machine: bool = False,
                sanitize: bool = False,
-               sanitize_trace: bool = False) -> SystemResult:
+               sanitize_trace: bool = False,
+               fault_plan=None) -> SystemResult:
     """Run one system for a few epochs; OOM/OOT become status markers.
 
     *data_scale* shrinks the machine's memory budgets in lockstep with
     the dataset scale, preserving the paper's capacity ratios at every
     bench profile.  *sanitize* attaches a strict
     :class:`repro.analysis.SimSanitizer` to the machine (pass
-    ``keep_machine=True`` to read its report afterwards).
+    ``keep_machine=True`` to read its report afterwards).  *fault_plan*
+    (a :class:`repro.faults.FaultPlan`) turns on deterministic fault
+    injection for the run.
     """
     from dataclasses import replace as _replace
 
@@ -157,6 +160,8 @@ def run_system(system: str, dataset: DiskDataset,
         num_gpus=num_gpus)
     if sanitize or sanitize_trace:
         spec = _replace(spec, sanitize=True, sanitize_trace=sanitize_trace)
+    if fault_plan is not None:
+        spec = _replace(spec, faults=fault_plan)
     machine = Machine(spec)
     try:
         sut = build_system(system, machine, dataset, train_cfg,

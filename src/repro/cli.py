@@ -73,10 +73,16 @@ def cmd_run(args) -> int:
     from repro.bench.runner import run_system
 
     ds, cfg = _workload(args)
+    plan = None
+    if args.faults:
+        from repro.faults import load_plan
+        plan = load_plan(args.faults)
     res = run_system(args.system, ds, cfg, host_gb=args.host_gb,
                      epochs=args.epochs, warmup_epochs=0,
                      data_scale=args.scale,
-                     eval_every=1 if args.eval else 0)
+                     eval_every=1 if args.eval else 0,
+                     fault_plan=plan,
+                     keep_machine=plan is not None)
     if not res.ok:
         print(f"{args.system}: {res.status} ({res.error})")
         return 1
@@ -88,6 +94,14 @@ def cmd_run(args) -> int:
         ["epoch", "time (s)", "loss", "val acc", "sample", "extract",
          "train"],
         rows, f"{args.system} on {ds.name} ({args.model})"))
+    if plan is not None:
+        ledger = res.machine.fault_counters()
+        nonzero = {k: v for k, v in ledger.items() if v}
+        print(f"\nfault ledger ({args.faults}):")
+        if not nonzero:
+            print("  (no faults fired)")
+        for key, val in nonzero.items():
+            print(f"  {key:<18} {val}")
     return 0
 
 
@@ -165,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     p.add_argument("--eval", action="store_true",
                    help="evaluate validation accuracy every epoch")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault-plan JSON file: run under deterministic "
+                        "fault injection (see examples/chaos_plan.json)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("compare", help="compare systems on one workload")

@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.base import TrainConfig, TrainingSystem, activation_bytes
 from repro.core.config import GNNDriveConfig
 from repro.core.feature_buffer import FeatureBuffer
-from repro.core.sampling_io import topo_access_event
+from repro.core.sampling_io import topo_access_with_retry
 from repro.core.staging import StagingBuffer
 from repro.core.stats import EpochStats, StageBreakdown
 from repro.errors import OutOfMemoryError
@@ -191,6 +191,10 @@ class GNNDrive(TrainingSystem):
                                              tag="feature-buffer")
             self.staging = None
             self.staging_portion = 0
+        #: Graceful-degradation floor: the deadlock-freedom reserve plus
+        #: one batch of headroom must survive any fault-driven shrink.
+        self._fb_min_slots = min_slots + self.max_batch_nodes
+        self._fb_shrunk = 0
 
         # ------------------------------------------------------------
         # Queues and actor bookkeeping.
@@ -238,10 +242,9 @@ class GNNDrive(TrainingSystem):
             # Timing: fault topology index pages hop by hop (mmap reads),
             # then charge the sampling arithmetic on a CPU core.
             for frontier in sub.hop_frontiers:
-                ev = topo_access_event(m.page_cache,
-                                       self.dataset.topo_handle,
-                                       self.dataset.graph, frontier)
-                yield from m.io_wait(ev)
+                yield from topo_access_with_retry(
+                    m, m.page_cache, self.dataset.topo_handle,
+                    self.dataset.graph, frontier)
             yield from m.cpu_task(m.cpu_cost.sample_compute_time(
                 sum(len(f) for f in sub.hop_frontiers), sub.total_edges()))
             self._stage.sample += m.sim.now - t0
@@ -281,6 +284,10 @@ class GNNDrive(TrainingSystem):
                 yield self.extract_q.put(SHUTDOWN)
                 return
             t0 = m.sim.now
+            if m.faults is not None and cfg.device == "cpu":
+                # React to injected host-memory pressure before taking
+                # slots: shed cold standby capacity rather than OOM.
+                self._adapt_feature_buffer()
             nodes = item.subgraph.all_nodes
             if len(nodes) > self.max_batch_nodes:
                 raise OutOfMemoryError(
@@ -300,7 +307,7 @@ class GNNDrive(TrainingSystem):
             to_load = cls.needs_load
 
             if self.staging is not None:
-                self.staging.reserve(len(to_load), self.staging_portion)
+                yield from self._reserve_staging(len(to_load))
             # SQE construction and buffer bookkeeping on a CPU core.
             yield from m.cpu_task(PER_BATCH_COST
                                   + len(nodes) * PER_NODE_SUBMIT_COST)
@@ -322,12 +329,23 @@ class GNNDrive(TrainingSystem):
                 ring.prepare_record_reads(feat_handle, ssd_nodes,
                                           io_size=self.io_size)
                 t_load = ring.submit()
+                res = ring.last_res
+                dropped_nodes = np.empty(0, dtype=np.int64)
+                if res is not None and (res < 0).any():
+                    t_load, dropped_nodes = yield from \
+                        self._recover_failed_reads(ring, feat_handle,
+                                                   ssd_nodes, t_load, res)
                 if len(t_load) < len(to_load):
                     # Page-cache hits are ready immediately.
                     t_load = np.concatenate([
                         np.full(len(to_load) - len(t_load), m.sim.now),
                         t_load])
-                fb.fill(to_load, self.dataset.features.gather(to_load))
+                rows = self.dataset.features.gather(to_load)
+                if len(dropped_nodes):
+                    # Unrecoverable reads: zero-fill those rows (gather
+                    # returned a copy), the batch still trains.
+                    rows[np.isin(to_load, dropped_nodes)] = 0
+                fb.fill(to_load, rows)
                 if cfg.device == "gpu" and not cfg.gpu_direct:
                     # Phase 2: per-node PCIe transfers launched at each
                     # node's own load completion (overlapped, §4.2).
@@ -358,6 +376,119 @@ class GNNDrive(TrainingSystem):
                               reused=cls.reused)
             yield self.train_q.put(_TrainItem(item.epoch, item.batch_id,
                                               item.subgraph, aliases))
+
+    # ------------------------------------------------------------------
+    # Recovery plane (fault plans only; never entered without one)
+    # ------------------------------------------------------------------
+    def _reserve_staging(self, n: int) -> Generator:
+        """Staging reservation with bounded backoff under fault plans.
+
+        Without a plan (or once the budget is exhausted) the
+        :class:`~repro.errors.OutOfMemoryError` propagates unchanged.
+        """
+        m = self.machine
+        inj = m.faults
+        attempt = 0
+        while True:
+            try:
+                self.staging.reserve(n, self.staging_portion)
+                return
+            except OutOfMemoryError:
+                if inj is None or attempt >= inj.retry_policy.max_retries:
+                    raise
+                delay = inj.retry_policy.delay(attempt)
+                attempt += 1
+                inj.ledger.staging_retries += 1
+                inj.ledger.backoff_time += delay
+                yield m.sim.timeout(delay)
+
+    def _recover_failed_reads(self, ring: AsyncRing, handle, ssd_nodes,
+                              t_load: np.ndarray, res: np.ndarray
+                              ) -> Generator:
+        """Event-driven retry of ring reads whose CQEs came back failed.
+
+        The degradation ladder: bounded backoff + resubmission; after
+        two consecutive all-failing rounds the ring depth is halved
+        (sustained-failure hypothesis: a shallower ring sheds pressure);
+        when the retry budget runs out, one last synchronous pass at
+        depth 1; whatever still fails is dropped (the caller zero-fills
+        those rows).  Returns ``(completion_times, dropped_node_ids)``.
+        """
+        m = self.machine
+        inj = m.faults
+        policy = inj.retry_policy
+        ledger = inj.ledger
+        t_final = t_load.copy()
+        failed_idx = np.flatnonzero(res < 0)
+        initial = len(failed_idx)
+        fail_rounds = 0
+        attempt = 0
+        while len(failed_idx) and attempt < policy.max_retries:
+            delay = policy.delay(attempt)
+            ledger.retried += len(failed_idx)
+            ledger.backoff_time += delay
+            yield m.sim.timeout(delay)
+            ring.prepare_record_reads(handle, ssd_nodes[failed_idx],
+                                      io_size=self.io_size)
+            rt = ring.submit()
+            t_final[failed_idx] = rt
+            rres = ring.last_res
+            still = rres < 0 if rres is not None else None
+            if still is None or not still.any():
+                failed_idx = failed_idx[:0]
+                break
+            failed_idx = failed_idx[still]
+            fail_rounds += 1
+            if fail_rounds >= 2 and ring.depth > 1:
+                ring.depth = max(1, ring.depth // 2)
+                ledger.depth_halvings += 1
+                fail_rounds = 0
+            attempt += 1
+        dropped_nodes = np.empty(0, dtype=np.int64)
+        if len(failed_idx):
+            # Sync fallback: one final depth-1 pass through the device's
+            # own retry machinery before giving a request up for good.
+            rec = self.dataset.features.record_nbytes
+            sizes = np.full(len(failed_idx), self.io_size, dtype=np.int64)
+            done, dropped = m.ssd.submit_reliable(
+                sizes, io_depth=1, handle_name=handle.name,
+                offsets=ssd_nodes[failed_idx] * rec)
+            ledger.sync_fallbacks += 1
+            t_final[failed_idx] = done
+            yield m.sim.timeout(max(0.0, float(done.max()) - m.sim.now))
+            dropped_nodes = ssd_nodes[failed_idx][dropped]
+            failed_idx = failed_idx[dropped]
+        ledger.recovered += initial - len(failed_idx)
+        ledger.dropped += len(failed_idx)
+        return t_final, dropped_nodes
+
+    def _adapt_feature_buffer(self) -> None:
+        """Shed/restore cold feature-buffer capacity under injected
+        host-memory pressure (CPU placement: the buffer is pinned host
+        memory, so it is the component that must give ground)."""
+        m = self.machine
+        fb = self.feature_buffer
+        rec = self.dataset.features.record_nbytes
+        pressure = m.host.fault_pressure
+        if pressure > 0 and self._fb_shrunk == 0:
+            shrinkable = self.num_feature_slots - self._fb_min_slots
+            if shrinkable <= 0:
+                return
+            want = min(shrinkable, pressure // rec + 1)
+            k = fb.shrink_standby(want)
+            if k:
+                m.host.resize(self._fb_alloc, self._fb_alloc.nbytes - k * rec)
+                self._fb_shrunk = k
+                m.faults.ledger.fb_shrinks += 1
+        elif pressure == 0 and self._fb_shrunk:
+            try:
+                m.host.resize(self._fb_alloc,
+                              self._fb_alloc.nbytes + self._fb_shrunk * rec)
+            except OutOfMemoryError:
+                return  # stay degraded until memory really frees up
+            fb.restore_standby()
+            self._fb_shrunk = 0
+            m.faults.ledger.fb_restores += 1
 
     def _trainer_proc(self) -> Generator:
         m = self.machine
@@ -466,6 +597,7 @@ class GNNDrive(TrainingSystem):
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
             reuse0 = self.feature_buffer.stat_reused
             load0 = self.feature_buffer.stat_loaded
+            f0 = m.fault_counters()
 
             for batch_id, seeds in enumerate(batches):
                 self.pending_q.put((epoch, batch_id, seeds))
@@ -488,6 +620,7 @@ class GNNDrive(TrainingSystem):
                 cache_misses=m.page_cache.misses - miss0,
                 reused_nodes=self.feature_buffer.stat_reused - reuse0,
                 loaded_nodes=self.feature_buffer.stat_loaded - load0,
+                faults=m.fault_counters_delta(f0),
             )
             if eval_every and (epoch + 1) % eval_every == 0:
                 stats.val_acc = self.evaluate()

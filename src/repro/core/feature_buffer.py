@@ -75,6 +75,9 @@ class FeatureBuffer:
         # Waiters.
         self._slot_waiters: Deque[Event] = deque()
         self._node_events: Dict[int, Event] = {}
+        # Slots taken offline by fault-pressure degradation (they stay
+        # out of standby until restore_standby()).
+        self._disabled = np.empty(0, dtype=np.int64)
         # Statistics.
         self.stat_reused = 0
         self.stat_loaded = 0
@@ -235,6 +238,54 @@ class FeatureBuffer:
                     ev.succeed(len(done))
 
     # ------------------------------------------------------------------
+    # Graceful degradation under memory pressure (fault plane)
+    # ------------------------------------------------------------------
+    @property
+    def disabled_slots(self) -> int:
+        """Slots currently taken offline by :meth:`shrink_standby`."""
+        return len(self._disabled)
+
+    def shrink_standby(self, max_slots: int) -> int:
+        """Take up to *max_slots* LRU standby slots offline.
+
+        Used under injected host-memory pressure: instead of OOMing on
+        the next allocation, the buffer gives back its coldest capacity.
+        Previous occupants are invalidated (same delayed-invalidation
+        bookkeeping as :meth:`allocate_slots`).  Returns the number of
+        slots actually taken.
+        """
+        k = min(int(max_slots), len(self.standby))
+        if k <= 0:
+            return 0
+        slots = self.standby.popleft(k)            # coldest first
+        prev = self.reverse[slots]
+        prev_nodes = prev[prev >= 0]
+        self.valid[prev_nodes] = False
+        self.slot_of[prev_nodes] = -1
+        self.stat_evictions += len(prev_nodes)
+        self.reverse[slots] = -1
+        self._disabled = np.concatenate([self._disabled, slots])
+        return k
+
+    def restore_standby(self) -> int:
+        """Bring every offline slot back (pressure episode over).
+
+        The slots rejoin standby at the MRU end, empty; waiters blocked
+        on slot starvation are woken.  Returns the number restored.
+        """
+        k = len(self._disabled)
+        if k == 0:
+            return 0
+        self.standby.add(self._disabled)
+        self._disabled = np.empty(0, dtype=np.int64)
+        if self._slot_waiters:
+            waiters, self._slot_waiters = self._slot_waiters, deque()
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed(k)
+        return k
+
+    # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Structural invariants (used by property-based tests)."""
         mapped = np.nonzero(self.slot_of >= 0)[0]
@@ -256,3 +307,8 @@ class FeatureBuffer:
                 "with refs")
         if (self.ref < 0).any():
             raise SimulationError("negative reference count")
+        if len(self._disabled):
+            if (self.reverse[self._disabled] != -1).any():
+                raise SimulationError("disabled slot still mapped to a node")
+            if np.isin(self._disabled, standby_slots).any():
+                raise SimulationError("disabled slot present in standby")

@@ -179,6 +179,7 @@ class MultiGPUGNNDrive(TrainingSystem):
                            len(self.epoch_stats) + num_epochs):
             m.sanitize_epoch_begin()
             t_start = m.sim.now
+            f0 = m.fault_counters()
             dones = []
             agg = StageBreakdown()
             for w in self.workers:
@@ -206,6 +207,7 @@ class MultiGPUGNNDrive(TrainingSystem):
                 epoch_time=m.sim.now - t_start,
                 stages=agg,
                 num_batches=sum(w.plan.num_batches for w in self.workers),
+                faults=m.fault_counters_delta(f0),
             )
             # Worker 0's model is representative (all replicas identical).
             self.model = self.workers[0].model

@@ -51,3 +51,45 @@ def topo_access_event(cache: PageCache, handle: FileHandle,
                       graph: CSCGraph, frontier: np.ndarray):
     """Page-cache access event for one hop's adjacency reads."""
     return cache.access(handle, frontier_pages(cache, graph, frontier))
+
+
+def page_access_with_retry(machine, cache: PageCache, handle: FileHandle,
+                           pages: np.ndarray):
+    """Fault a page set with bounded retries on injected read errors.
+
+    Use as ``value = yield from page_access_with_retry(...)`` inside a
+    process.  Pages whose device reads exhausted the *device-level*
+    retry budget (:attr:`PageCache.last_dropped_pages`) are re-faulted
+    after a process-level backoff — a second, coarser retry ring, like a
+    faulting thread re-entering the kernel after ``-EIO``.  Pages still
+    failing after the process budget are abandoned (the ledger already
+    counted them dropped).  Without an active fault plan this is exactly
+    ``machine.io_wait(cache.access(...))``.
+    """
+    ev = cache.access(handle, pages)
+    if machine.faults is None:
+        value = yield from machine.io_wait(ev)
+        return value
+    dropped = cache.last_dropped_pages
+    value = yield from machine.io_wait(ev)
+    policy = machine.faults.retry_policy
+    ledger = machine.faults.ledger
+    attempt = 0
+    while len(dropped) and attempt < policy.max_retries:
+        delay = policy.delay(attempt)
+        ledger.sampler_retries += 1
+        ledger.backoff_time += delay
+        yield machine.sim.timeout(delay)
+        ev = cache.access(handle, dropped)
+        dropped = cache.last_dropped_pages
+        yield from machine.io_wait(ev)
+        attempt += 1
+    return value
+
+
+def topo_access_with_retry(machine, cache: PageCache, handle: FileHandle,
+                           graph: CSCGraph, frontier: np.ndarray):
+    """:func:`topo_access_event` + :func:`page_access_with_retry`."""
+    value = yield from page_access_with_retry(
+        machine, cache, handle, frontier_pages(cache, graph, frontier))
+    return value

@@ -43,6 +43,9 @@ class EpochStats:
     reused_nodes: int = 0
     loaded_nodes: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Fault-ledger movement during this epoch (empty without a plan);
+    #: see :class:`repro.faults.FaultLedger`.
+    faults: Dict[str, float] = field(default_factory=dict)
 
     @property
     def reuse_ratio(self) -> float:

@@ -13,6 +13,16 @@ class ReproError(Exception):
     """Base class for all library-specific errors."""
 
 
+class ConfigError(ReproError, ValueError):
+    """A configuration value failed validation at construction time.
+
+    Subclasses :class:`ValueError` so call sites (and tests) written
+    against the generic validation errors keep working; the dedicated
+    type lets fault plans and machine specs report the offending field
+    by name instead of surfacing as NaN service times downstream.
+    """
+
+
 class SimulationError(ReproError):
     """Internal inconsistency inside the discrete-event engine."""
 

@@ -1,0 +1,40 @@
+"""Deterministic fault injection and recovery policies (chaos plane).
+
+Public surface::
+
+    from repro.faults import (FaultSpec, FaultPlan, FaultInjector,
+                              FaultLedger, RetryPolicy, load_plan,
+                              default_chaos_plan)
+
+Configure a machine with ``MachineSpec(faults=plan)`` (or
+``repro run --faults plan.json``); every draw is keyed by (plan seed,
+fault id), so chaos runs replay bit-for-bit.
+"""
+
+from repro.faults.inject import FaultInjector, FaultLedger
+from repro.faults.plan import (
+    EAGAIN,
+    EIO,
+    EMPTY_PLAN,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    default_chaos_plan,
+    load_plan,
+)
+from repro.faults.recovery import RetryPolicy, alloc_with_retry
+
+__all__ = [
+    "EAGAIN",
+    "EIO",
+    "EMPTY_PLAN",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "alloc_with_retry",
+    "default_chaos_plan",
+    "load_plan",
+]

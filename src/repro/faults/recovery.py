@@ -1,0 +1,69 @@
+"""Retry policies and backoff helpers shared by every recovery path.
+
+All recovery in the runtime is bounded: a per-request retry budget plus
+exponential backoff with a cap.  Policies are plain data so the device's
+analytic retry loop, the extractor's event-driven loop, and the
+allocation helpers all degrade the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.errors import ConfigError, OutOfMemoryError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``delay(i) = min(cap, base * g**i)``."""
+
+    max_retries: int = 6
+    backoff_base: float = 200e-6
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5e-3
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base <= 0:
+            raise ConfigError("backoff_base must be positive")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.backoff_cap < self.backoff_base:
+            raise ConfigError("backoff_cap must be >= backoff_base")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number *attempt* (0-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** attempt)
+
+    def total_backoff(self) -> float:
+        """Worst-case cumulative backoff across the whole budget."""
+        return sum(self.delay(i) for i in range(self.max_retries))
+
+
+def alloc_with_retry(machine, nbytes: int, tag: str,
+                     policy: Optional[RetryPolicy] = None) -> Generator:
+    """Pinned host allocation with bounded backoff under fault pressure.
+
+    Use as ``alloc = yield from alloc_with_retry(m, nbytes, tag)`` inside
+    a process.  Without an active fault plan (or once the retry budget is
+    exhausted) the :class:`~repro.errors.OutOfMemoryError` propagates —
+    transient pressure is survivable, genuine over-commit is not.
+    """
+    inj = machine.faults
+    if policy is None:
+        policy = inj.retry_policy if inj is not None else RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            return machine.host.allocate(nbytes, tag=tag)
+        except OutOfMemoryError:
+            if inj is None or attempt >= policy.max_retries:
+                raise
+            delay = policy.delay(attempt)
+            attempt += 1
+            inj.ledger.alloc_retries += 1
+            inj.ledger.backoff_time += delay
+            yield machine.sim.timeout(delay)

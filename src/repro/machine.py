@@ -14,9 +14,12 @@ factor, preserving every capacity ratio the experiments stress.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Generator, List, Optional
 
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.memory import DeviceMemory, HostMemory, PCIeLink
 from repro.models.costmodel import (
     CPU_XEON,
@@ -65,6 +68,46 @@ class MachineSpec:
     #: With ``sanitize``, also keep the full event trace for replay
     #: diffing (memory-hungry; the determinism harness turns it on).
     sanitize_trace: bool = False
+    #: Optional :class:`repro.faults.FaultPlan` — deterministic fault
+    #: injection (chaos testing).  None (or an empty plan) leaves the
+    #: machine bit-identical to a fault-free build.
+    faults: Optional[FaultPlan] = None
+
+    def __post_init__(self):
+        if self.host_capacity <= 0:
+            raise ConfigError(
+                f"host_capacity must be positive, got {self.host_capacity!r}")
+        if not 0 <= self.host_reserve < self.host_capacity:
+            raise ConfigError(
+                f"host_reserve must be in [0, host_capacity), "
+                f"got {self.host_reserve!r}")
+        if self.cpu_cores < 1:
+            raise ConfigError(
+                f"cpu_cores must be >= 1, got {self.cpu_cores!r}")
+        if self.num_gpus < 1:
+            raise ConfigError(
+                f"num_gpus must be >= 1, got {self.num_gpus!r}")
+        if self.gpu_capacity <= 0:
+            raise ConfigError(
+                f"gpu_capacity must be positive, got {self.gpu_capacity!r}")
+        if not self.pcie_bandwidth > 0 \
+                or not math.isfinite(self.pcie_bandwidth):
+            raise ConfigError(
+                f"pcie_bandwidth must be a positive finite number, "
+                f"got {self.pcie_bandwidth!r}")
+        if self.pcie_latency < 0 or not math.isfinite(self.pcie_latency):
+            raise ConfigError(
+                f"pcie_latency must be a non-negative finite number, "
+                f"got {self.pcie_latency!r}")
+        if not self.sample_cost_scale > 0 \
+                or not math.isfinite(self.sample_cost_scale):
+            raise ConfigError(
+                f"sample_cost_scale must be a positive finite number, "
+                f"got {self.sample_cost_scale!r}")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigError(
+                f"faults must be a FaultPlan or None, "
+                f"got {type(self.faults).__name__}")
 
     @staticmethod
     def paper_scaled(host_gb: float = 32, scale: float = DEFAULT_SCALE,
@@ -120,6 +163,22 @@ class Machine:
             for gpu in self.gpus:
                 self.sanitizer.register(gpu)
             self.sanitizer.register(self.cpu)
+        #: Optional fault injector (see ``MachineSpec.faults``).  An
+        #: empty plan keeps this None, so a machine built with
+        #: ``faults=EMPTY_PLAN`` is bit-identical to ``faults=None``.
+        self.faults: Optional[FaultInjector] = None
+        if spec.faults is not None and not spec.faults.is_empty:
+            self.faults = FaultInjector(spec.faults)
+            self.ssd.faults = self.faults
+            for pspec in self.faults.pressure_specs:
+                self.sim.process(self._pressure_proc(pspec),
+                                 name=f"fault:{pspec.fault_id}")
+            if self.sanitizer is not None:
+                self.sanitizer.register(self.faults.ledger)
+                # Fault-driven feature-buffer resizes legitimately span
+                # epoch boundaries; the strict leak check must not flag
+                # them as leaks.
+                self.sanitizer.adaptive_tags.add("feature-buffer")
         k = spec.sample_cost_scale
         self.gpu_cost = ComputeCostModel(spec.gpu_profile)
         self.cpu_cost = ComputeCostModel(
@@ -169,6 +228,48 @@ class Machine:
         finally:
             self.probe.io.exit()
         return value
+
+    # ------------------------------------------------------------------
+    # Fault plane
+    # ------------------------------------------------------------------
+    def _pressure_proc(self, spec: FaultSpec) -> Generator:
+        """One host-memory pressure episode driver (``mem_pressure``).
+
+        Claims the configured bytes at each window start and releases
+        them at the window end; the host accountant notifies its
+        listeners, so the page cache shrinks immediately and pinned
+        allocations fail transiently (recovered by the backoff helpers).
+        """
+        nbytes = spec.nbytes or int(spec.fraction * self.spec.host_capacity)
+        ledger = self.faults.ledger
+        start = spec.start
+        fired = 0
+        while True:
+            wait = start - self.sim.now
+            if wait > 0:
+                yield self.sim.timeout(wait)
+            self.host.set_fault_pressure(self.host.fault_pressure + nbytes)
+            ledger.pressure_episodes += 1
+            yield self.sim.timeout(spec.duration)
+            self.host.set_fault_pressure(
+                max(0, self.host.fault_pressure - nbytes))
+            ledger.pressure_time += spec.duration
+            fired += 1
+            if spec.period <= 0 or (spec.repeats and fired >= spec.repeats):
+                return
+            start += spec.period
+
+    def fault_counters(self):
+        """Current fault-ledger snapshot ({} without an active plan)."""
+        if self.faults is None:
+            return {}
+        return self.faults.ledger.as_dict()
+
+    def fault_counters_delta(self, before):
+        """Non-zero ledger movement since a :meth:`fault_counters` call."""
+        now = self.fault_counters()
+        return {k: v - before.get(k, 0)
+                for k, v in now.items() if v - before.get(k, 0)}
 
     # ------------------------------------------------------------------
     # Sanitizer epoch protocol: systems bracket each epoch with these;

@@ -55,6 +55,7 @@ class HostMemory:
         self.capacity = int(capacity)
         self.reserve = int(reserve)
         self._pinned = 0
+        self._fault_pressure = 0
         self._next_id = 0
         self._live: Dict[int, Allocation] = {}
         self._by_tag: Dict[str, int] = {}
@@ -70,13 +71,20 @@ class HostMemory:
         return self._pinned
 
     @property
+    def fault_pressure(self) -> int:
+        """Bytes transiently claimed by an injected memory-pressure
+        episode (an external consumer the accountant cannot evict)."""
+        return self._fault_pressure
+
+    @property
     def available(self) -> int:
         """Bytes available for new pinned allocations (incl. reclaimable cache)."""
-        return self.capacity - self.reserve - self._pinned
+        return self.capacity - self.reserve - self._pinned - self._fault_pressure
 
     def cache_budget(self) -> int:
         """Bytes the OS page cache may occupy right now (free memory)."""
-        return max(0, self.capacity - self.reserve - self._pinned)
+        return max(0, self.capacity - self.reserve - self._pinned
+                   - self._fault_pressure)
 
     def usage_by_tag(self) -> Dict[str, int]:
         """Pinned bytes per allocation tag, for memory-footprint reports."""
@@ -151,6 +159,20 @@ class HostMemory:
         self.peak_pinned = max(self.peak_pinned, self._pinned)
         self._notify()
 
+    def set_fault_pressure(self, nbytes: int) -> None:
+        """Set the injected external-pressure level (fault plane only).
+
+        Pressure squeezes the page-cache budget and can make pinned
+        allocation fail transiently; it is not itself pinned memory, so
+        the leak accounting never sees it.  Listeners fire so caches
+        shrink immediately.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative fault pressure: {nbytes}")
+        self._fault_pressure = nbytes
+        self._notify()
+
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Structural accounting invariants (sanitizer epoch sweep)."""
@@ -174,6 +196,9 @@ class HostMemory:
             raise SimulationError(
                 f"pinned {self._pinned} B exceeds budget "
                 f"{self.capacity - self.reserve} B")
+        if self._fault_pressure < 0:
+            raise SimulationError(
+                f"negative fault pressure: {self._fault_pressure}")
 
     # ------------------------------------------------------------------
     def add_pressure_listener(self, fn: Callable[[], None]) -> None:

@@ -20,7 +20,7 @@ event per 512-byte request — crucial for running whole training epochs.
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,10 @@ class SSDDevice:
         # Min-heap of per-channel next-free times.
         self._free_at = [0.0] * spec.channels
         heapq.heapify(self._free_at)
+        #: Optional :class:`repro.faults.FaultInjector`, wired by the
+        #: machine when a fault plan is active; None costs one test per
+        #: batch.
+        self.faults = None
         # Statistics.
         self.bytes_read = 0
         self.bytes_written = 0
@@ -104,10 +108,21 @@ class SSDDevice:
         else:
             ready = np.maximum(np.asarray(start_times, dtype=np.float64), now)
 
+        if self.faults is not None:
+            mult = self.faults.service_multipliers(ready, write=write)
+            if mult is not None:
+                svc = svc * mult
+
         for i in range(n):
             earliest = ready[i]
             if io_depth is not None and i >= io_depth:
                 earliest = max(earliest, done[i - io_depth])
+            if sizes[i] == 0:
+                # A zero-byte request completes for free: it carries no
+                # payload, so it neither occupies a channel nor pays the
+                # media latency.
+                done[i] = earliest
+                continue
             chan_free = heapq.heappop(free_at)
             start = max(chan_free, earliest)
             finish = start + svc[i]
@@ -124,11 +139,104 @@ class SSDDevice:
         return done
 
     # ------------------------------------------------------------------
+    # Fault-aware submission
+    # ------------------------------------------------------------------
+    def submit_batch_ex(
+        self,
+        sizes: np.ndarray,
+        io_depth: Optional[int] = None,
+        start_times: Optional[np.ndarray] = None,
+        write: bool = False,
+        handle_name: Optional[str] = None,
+        offsets: Optional[np.ndarray] = None,
+        times: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """:meth:`submit_batch` plus a per-request read-error mask.
+
+        Returns ``(done, fail)`` where *fail* is a boolean mask over the
+        batch (None when no read-error fault fired — including always
+        for writes and fault-free devices).  Windowed error specs are
+        evaluated at each request's service completion time (a media
+        error manifests when the request is serviced, not when it is
+        queued); *times* overrides that, which the retry loop uses to
+        re-draw at the deferred resubmission times.
+        """
+        done = self.submit_batch(sizes, io_depth=io_depth,
+                                 start_times=start_times, write=write)
+        fail = None
+        if self.faults is not None and not write and len(done):
+            fail = self.faults.draw_read_errors(
+                len(done), self.sim.now,
+                handle_name=handle_name, offsets=offsets,
+                times=done if times is None else times)
+        return done, fail
+
+    def submit_reliable(
+        self,
+        sizes: np.ndarray,
+        io_depth: Optional[int] = None,
+        start_times: Optional[np.ndarray] = None,
+        write: bool = False,
+        handle_name: Optional[str] = None,
+        offsets: Optional[np.ndarray] = None,
+        policy=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Submit with device-level bounded retries on injected errors.
+
+        Failed requests are resubmitted after the policy's backoff
+        (modelled by deferring their earliest-start time — analytic, no
+        extra events), up to ``policy.max_retries`` rounds.  Returns
+        ``(done, dropped)``: final per-request completion times and a
+        boolean mask of requests that exhausted their retry budget.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        done, fail = self.submit_batch_ex(
+            sizes, io_depth=io_depth, start_times=start_times, write=write,
+            handle_name=handle_name, offsets=offsets)
+        dropped = np.zeros(len(done), dtype=bool)
+        if fail is None or not fail.any():
+            return done, dropped
+
+        inj = self.faults
+        ledger = inj.ledger
+        if policy is None:
+            policy = inj.retry_policy
+        pending = np.flatnonzero(fail)
+        initial = len(pending)
+        attempt = 0
+        offs = None if offsets is None else np.asarray(offsets, dtype=np.int64)
+        while len(pending) and attempt < policy.max_retries:
+            delay = policy.delay(attempt)
+            ledger.retried += len(pending)
+            ledger.backoff_time += delay * len(pending)
+            retry_start = done[pending] + delay
+            retry_offs = None if offs is None else offs[pending]
+            rdone, rfail = self.submit_batch_ex(
+                sizes[pending], io_depth=io_depth, start_times=retry_start,
+                write=write, handle_name=handle_name, offsets=retry_offs,
+                times=retry_start)
+            done[pending] = rdone
+            if rfail is None:
+                pending = pending[:0]
+            else:
+                pending = pending[rfail]
+            attempt += 1
+        ledger.recovered += initial - len(pending)
+        ledger.dropped += len(pending)
+        dropped[pending] = True
+        return done, dropped
+
+    # ------------------------------------------------------------------
     # Event helpers
     # ------------------------------------------------------------------
     def read_event(self, nbytes: int) -> Timeout:
         """One read as a waitable event (for sync pread paths)."""
-        done = self.submit(nbytes)
+        if self.faults is not None:
+            done_arr, _ = self.submit_reliable(np.asarray([nbytes]),
+                                               io_depth=1)
+            done = float(done_arr[0])
+        else:
+            done = self.submit(nbytes)
         return self.sim.timeout(max(0.0, done - self.sim.now), value=done)
 
     def write_event(self, nbytes: int) -> Timeout:
@@ -139,7 +247,10 @@ class SSDDevice:
     def batch_event(self, sizes: np.ndarray,
                     io_depth: Optional[int] = None) -> Timeout:
         """All-complete event for a batch; value is per-request times."""
-        done = self.submit_batch(sizes, io_depth=io_depth)
+        if self.faults is not None:
+            done, _ = self.submit_reliable(sizes, io_depth=io_depth)
+        else:
+            done = self.submit_batch(sizes, io_depth=io_depth)
         last = float(done.max()) if len(done) else self.sim.now
         return self.sim.timeout(max(0.0, last - self.sim.now), value=done)
 

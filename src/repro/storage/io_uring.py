@@ -25,6 +25,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.errors import StorageError
+from repro.faults.plan import EAGAIN, EIO
 from repro.simcore.engine import Simulator, Timeout
 from repro.storage.device import SSDDevice
 from repro.storage.files import FileHandle
@@ -42,6 +43,9 @@ class Sqe:
     user_data: object = None
     #: Filled at completion-computation time.
     completion_time: float = float("nan")
+    #: CQE status (negated errno like the real ABI): 0 = success,
+    #: ``-EIO`` = media error, ``-EAGAIN`` = transient completion error.
+    res: int = 0
 
 
 @dataclass
@@ -59,6 +63,9 @@ class SqeBatch:
     #: Filled at completion-computation time (array assignment).
     completion_times: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.float64))
+    #: Per-entry CQE status (0 = success; negated errno on failure).
+    res: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
 
     def __len__(self) -> int:
         return len(self.offsets)
@@ -66,8 +73,9 @@ class SqeBatch:
     def __getitem__(self, i: int) -> Sqe:
         t = (float(self.completion_times[i])
              if len(self.completion_times) else float("nan"))
+        r = int(self.res[i]) if len(self.res) else 0
         return Sqe(self.handle, int(self.offsets[i]), int(self.sizes[i]),
-                   user_data=self.user_data[i], completion_time=t)
+                   user_data=self.user_data[i], completion_time=t, res=r)
 
 
 class AsyncRing:
@@ -83,6 +91,9 @@ class AsyncRing:
         self.direct = direct
         self._sq: List[Union[Sqe, SqeBatch]] = []
         self.submitted = 0
+        #: CQE status array of the most recent :meth:`submit` (None when
+        #: the device has no fault injector attached).
+        self.last_res: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return sum(1 if isinstance(e, Sqe) else len(e) for e in self._sq)
@@ -171,17 +182,58 @@ class AsyncRing:
         san = self.sim.sanitizer
         if san is not None:
             san.check_ring(self, done)
+        res = self._draw_completion_errors()
         pos = 0
         for e in self._sq:
             if isinstance(e, Sqe):
                 e.completion_time = float(done[pos])
+                if res is not None:
+                    e.res = int(res[pos])
                 pos += 1
             else:
                 e.completion_times = done[pos:pos + len(e)]
+                if res is not None:
+                    e.res = res[pos:pos + len(e)]
                 pos += len(e)
+        self.last_res = res
         self.submitted += len(done)
         self._sq.clear()
         return done
+
+    def _draw_completion_errors(self) -> Optional[np.ndarray]:
+        """CQE statuses for the queued SQEs, or None without faults.
+
+        Media errors (``-EIO``) are drawn per entry against the entry's
+        file/offsets so range-targeted specs apply; transient completion
+        errors (``-EAGAIN``) are drawn uniformly over the whole ring.
+        """
+        # getattr: benches drive the ring with duck-typed stub devices.
+        inj = getattr(self.device, "faults", None)
+        if inj is None:
+            return None
+        now = self.sim.now
+        n = len(self)
+        res = np.zeros(n, dtype=np.int64)
+        pos = 0
+        for e in self._sq:
+            if isinstance(e, Sqe):
+                fail = inj.draw_read_errors(
+                    1, now, handle_name=e.handle.name,
+                    offsets=np.asarray([e.offset], dtype=np.int64))
+                if fail is not None and fail[0]:
+                    res[pos] = -EIO
+                pos += 1
+            else:
+                k = len(e)
+                fail = inj.draw_read_errors(
+                    k, now, handle_name=e.handle.name, offsets=e.offsets)
+                if fail is not None:
+                    res[pos:pos + k][fail] = -EIO
+                pos += k
+        ring_fail = inj.draw_ring_errors(n, now)
+        if ring_fail is not None:
+            res[ring_fail & (res == 0)] = -EAGAIN
+        return res
 
     def submit_and_wait(self) -> Timeout:
         """Submit everything and return an event firing at the last CQE.

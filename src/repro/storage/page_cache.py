@@ -99,6 +99,10 @@ class PageCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Pages whose device reads exhausted their retry budget in the
+        #: most recent :meth:`access` (empty without an active fault
+        #: plan).  Callers re-fault them via the sampling retry helpers.
+        self.last_dropped_pages = np.empty(0, dtype=np.int64)
         host.add_pressure_listener(self.shrink_to_budget)
 
     # ------------------------------------------------------------------
@@ -312,6 +316,11 @@ class PageCache:
         hit_pages = pages[res]
         miss_pages = pages[~res]
 
+        if self.device.faults is not None and len(miss_pages):
+            return self._access_faulty(handle, state, pages,
+                                       hit_pages, miss_pages)
+        self.last_dropped_pages = np.empty(0, dtype=np.int64)
+
         # LRU maintenance: refresh hits, then insert misses as MRU.
         self._lru.touch(self._keys_for(
             state, np.concatenate([hit_pages, miss_pages])))
@@ -327,6 +336,32 @@ class PageCache:
             ready = float(done.max()) + copy_time
         else:
             ready = self.sim.now + copy_time
+        return self.sim.timeout(max(0.0, ready - self.sim.now),
+                                value=(len(hit_pages), len(miss_pages)))
+
+    def _access_faulty(self, handle: FileHandle, state: _FileState,
+                       pages: np.ndarray, hit_pages: np.ndarray,
+                       miss_pages: np.ndarray) -> Timeout:
+        """Miss path under an active fault plan: the page reads go
+        through device-level retries, and pages whose retry budget ran
+        out stay non-resident (recorded in :attr:`last_dropped_pages`
+        for the caller to re-fault)."""
+        sizes = np.full(len(miss_pages), self.page_size, dtype=np.int64)
+        done, dropped = self.device.submit_reliable(
+            sizes, io_depth=self.fault_depth, handle_name=handle.name,
+            offsets=miss_pages * self.page_size)
+        ok_pages = miss_pages[~dropped]
+        self.last_dropped_pages = miss_pages[dropped]
+
+        self._lru.touch(self._keys_for(
+            state, np.concatenate([hit_pages, ok_pages])))
+        state.resident[ok_pages] = True
+        self.hits += len(hit_pages)
+        self.misses += len(miss_pages)
+        self.shrink_to_budget()
+
+        copy_time = len(pages) * self.page_size / DRAM_COPY_BANDWIDTH
+        ready = float(done.max()) + copy_time
         return self.sim.timeout(max(0.0, ready - self.sim.now),
                                 value=(len(hit_pages), len(miss_pages)))
 

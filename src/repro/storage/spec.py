@@ -9,7 +9,10 @@ vs transfer time), which set where bandwidth saturates with queue depth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+from repro.errors import ConfigError
 
 #: Direct I/O access granularity (legacy sector), §4.4 "Access Granularity".
 SECTOR_SIZE = 512
@@ -42,12 +45,19 @@ class SSDSpec:
     name: str = "ssd"
 
     def __post_init__(self):
-        if self.read_latency < 0:
-            raise ValueError("read_latency must be non-negative")
-        if self.channel_bandwidth <= 0:
-            raise ValueError("channel_bandwidth must be positive")
+        if self.read_latency < 0 or not math.isfinite(self.read_latency):
+            raise ConfigError(
+                f"SSD {self.name!r}: read_latency must be a non-negative "
+                f"finite number, got {self.read_latency!r}")
+        if not self.channel_bandwidth > 0 \
+                or not math.isfinite(self.channel_bandwidth):
+            raise ConfigError(
+                f"SSD {self.name!r}: channel_bandwidth must be a positive "
+                f"finite number, got {self.channel_bandwidth!r}")
         if self.channels < 1:
-            raise ValueError("channels must be >= 1")
+            raise ConfigError(
+                f"SSD {self.name!r}: channels must be >= 1, "
+                f"got {self.channels!r}")
 
     @property
     def max_bandwidth(self) -> float:

@@ -84,9 +84,20 @@ class SyncFile:
 
         # Sequential dependency: io_depth=1 chains each request after the
         # previous completion — the defining property of one sync thread.
-        done = self.device.submit_batch(
-            np.full(n, io_size, dtype=np.int64), io_depth=1
-        )
+        sizes = np.full(n, io_size, dtype=np.int64)
+        if self.device.faults is not None:
+            done, dropped = self.device.submit_reliable(
+                sizes, io_depth=1, handle_name=self.handle.name,
+                offsets=record_ids * rec)
+            ev = self.sim.timeout(max(0.0, float(done.max()) - self.sim.now),
+                                  value=done)
+            rows = self._slice(record_ids)
+            if rows is not None and dropped.any():
+                # _slice returns a fancy-index copy; zero-fill the
+                # records that exhausted their retry budget.
+                rows[dropped] = 0
+            return ev, rows
+        done = self.device.submit_batch(sizes, io_depth=1)
         ev = self.sim.timeout(max(0.0, float(done[-1]) - self.sim.now),
                               value=done)
         return ev, self._slice(record_ids)

@@ -1,0 +1,56 @@
+"""Fault determinism and end-to-end chaos survival.
+
+Three system-level properties:
+
+1. Same plan + seed twice => bit-identical traces and stats.
+2. The empty plan is a true no-op: traces match ``faults=None`` exactly.
+3. Every system survives the default chaos plan (injected > 0,
+   recovered > 0, sanitizer clean) — the same check the
+   ``python -m repro.bench faults`` artifact gates on.
+"""
+
+import pytest
+
+from repro.bench.faults import check_system_under_faults
+from repro.bench.runner import SYSTEM_NAMES, get_dataset, run_system
+from repro.core.base import TrainConfig
+from repro.faults import EMPTY_PLAN, default_chaos_plan
+
+pytestmark = pytest.mark.faults
+
+
+def _trace(system, plan):
+    res = run_system(system, get_dataset("tiny"), TrainConfig(), epochs=2,
+                     warmup_epochs=0, keep_machine=True, sanitize=True,
+                     sanitize_trace=True, fault_plan=plan)
+    assert res.ok, res.error
+    return res.machine.sanitizer.trace_digest(), res.stats
+
+
+@pytest.mark.parametrize("system", ["gnndrive-gpu", "ginex"])
+def test_same_plan_same_seed_is_bit_reproducible(system):
+    plan = default_chaos_plan()
+    digest_a, stats_a = _trace(system, plan)
+    digest_b, stats_b = _trace(system, plan)
+    assert digest_a == digest_b
+    assert [repr(s) for s in stats_a] == [repr(s) for s in stats_b]
+    assert any(s.faults.get("injected", 0) > 0 for s in stats_a)
+
+
+@pytest.mark.parametrize("system", SYSTEM_NAMES)
+def test_empty_plan_is_bit_identical_to_no_faults(system):
+    digest_empty, stats_empty = _trace(system, EMPTY_PLAN)
+    digest_none, stats_none = _trace(system, None)
+    assert digest_empty == digest_none
+    assert [repr(s) for s in stats_empty] == [repr(s) for s in stats_none]
+    assert all(not s.faults for s in stats_empty)
+
+
+@pytest.mark.parametrize("system", SYSTEM_NAMES)
+def test_system_survives_default_chaos_plan(system):
+    report = check_system_under_faults(system, default_chaos_plan())
+    assert report["status"] == "ok", report.get("error")
+    assert report["clean"], report["findings"]
+    assert report["ledger"]["injected"] > 0
+    assert report["ledger"]["recovered"] > 0
+    assert report["survived"]

@@ -1,0 +1,122 @@
+"""Injector draws, stream isolation, and ledger accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import FaultInjector, FaultLedger, FaultPlan, FaultSpec
+
+
+def make_injector(*specs, seed=3):
+    return FaultInjector(FaultPlan(tuple(specs), seed=seed))
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_draws_are_reproducible():
+    spec = FaultSpec("media", "read_error", probability=0.3)
+    a = make_injector(spec)
+    b = make_injector(spec)
+    for _ in range(5):
+        ma = a.draw_read_errors(100, now=0.0)
+        mb = b.draw_read_errors(100, now=0.0)
+        assert np.array_equal(ma, mb)
+    assert a.ledger.injected_read == b.ledger.injected_read > 0
+
+
+def test_fault_streams_are_independent():
+    """Spec B's draws do not move when spec A is added to the plan."""
+    b = FaultSpec("b", "read_error", probability=0.3, file="feat")
+    a = FaultSpec("a", "read_error", probability=0.9, file="other")
+    only_b = make_injector(b)
+    both = make_injector(a, b)
+    # Target file 'feat': spec A never matches, but in a shared-stream
+    # design its presence would still shift B's randomness.
+    for _ in range(4):
+        mb = only_b.draw_read_errors(64, now=0.0, handle_name="feat")
+        mab = both.draw_read_errors(64, now=0.0, handle_name="feat")
+        assert np.array_equal(mb, mab)
+
+
+# ----------------------------------------------------------------------
+# Matching rules
+# ----------------------------------------------------------------------
+def test_file_and_range_targeting():
+    spec = FaultSpec("bad-lba", "read_error", file="feat",
+                     range_start=1000, range_end=2000)
+    inj = make_injector(spec)
+    offs = np.array([0, 1000, 1999, 2000])
+    # Wrong file: no match at all.
+    assert inj.draw_read_errors(4, 0.0, handle_name="topo",
+                                offsets=offs) is None
+    # Range specs need offsets to attribute requests.
+    assert inj.draw_read_errors(4, 0.0, handle_name="feat") is None
+    mask = inj.draw_read_errors(4, 0.0, handle_name="feat", offsets=offs)
+    assert mask.tolist() == [False, True, True, False]
+    assert inj.ledger.injected_read == 2
+
+
+def test_windowed_spec_uses_per_request_times():
+    spec = FaultSpec("burst", "read_error", start=1.0, duration=1.0)
+    inj = make_injector(spec)
+    # Scalar gating: inactive at now=0.
+    assert inj.draw_read_errors(3, now=0.0) is None
+    # Per-request times: only the in-window request can fail.
+    mask = inj.draw_read_errors(3, now=0.0,
+                                times=np.array([0.5, 1.5, 2.5]))
+    assert mask.tolist() == [False, True, False]
+
+
+def test_service_multipliers_window():
+    inj = make_injector(
+        FaultSpec("gc", "tail_latency", factor=4.0, start=1.0,
+                  duration=1.0))
+    assert inj.service_multipliers(np.array([0.1, 0.2])) is None
+    mult = inj.service_multipliers(np.array([0.5, 1.5]))
+    assert mult.tolist() == [1.0, 4.0]
+    assert inj.ledger.delayed == 1
+
+
+def test_ring_errors_counted_separately():
+    inj = make_injector(FaultSpec("cqe", "ring_error", probability=1.0))
+    mask = inj.draw_ring_errors(5, now=0.0)
+    assert mask.all()
+    assert inj.ledger.injected_ring == 5
+    assert inj.ledger.injected_read == 0
+    assert inj.ledger.injected == 5
+
+
+# ----------------------------------------------------------------------
+# Ledger
+# ----------------------------------------------------------------------
+def test_ledger_invariants():
+    led = FaultLedger()
+    led.check_invariants()  # fresh ledger is balanced
+    led.injected_read = 2
+    led.retried = 3
+    led.recovered = 4
+    led.dropped = 1
+    led.check_invariants()
+    led.recovered = 5  # 5 + 1 > 2 + 3
+    with pytest.raises(SimulationError):
+        led.check_invariants()
+
+
+def test_ledger_rejects_negative_counters():
+    led = FaultLedger()
+    led.dropped = -1
+    with pytest.raises(SimulationError):
+        led.check_invariants()
+    led = FaultLedger()
+    led.backoff_time = -0.5
+    with pytest.raises(SimulationError):
+        led.check_invariants()
+
+
+def test_ledger_as_dict_covers_all_counters():
+    led = FaultLedger()
+    d = led.as_dict()
+    for name in FaultLedger.COUNTERS:
+        assert name in d
+    assert d["injected"] == 0 and d["backoff_time"] == 0.0

@@ -1,0 +1,138 @@
+"""Fault-plan validation, window math, and JSON round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    EMPTY_PLAN,
+    FaultPlan,
+    FaultSpec,
+    default_chaos_plan,
+    load_plan,
+)
+
+
+# ----------------------------------------------------------------------
+# FaultSpec validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs", [
+    dict(fault_id="", kind="read_error"),
+    dict(fault_id="x", kind="cosmic_ray"),
+    dict(fault_id="x", kind="read_error", probability=1.5),
+    dict(fault_id="x", kind="read_error", probability=-0.1),
+    dict(fault_id="x", kind="tail_latency", factor=0.0),
+    dict(fault_id="x", kind="tail_latency", factor=float("nan")),
+    dict(fault_id="x", kind="read_error", start=-1.0),
+    dict(fault_id="x", kind="read_error", duration=0.0),
+    dict(fault_id="x", kind="read_error", period=-1.0),
+    dict(fault_id="x", kind="read_error", duration=2.0, period=1.0),
+    dict(fault_id="x", kind="read_error", repeats=-1),
+    dict(fault_id="x", kind="mem_pressure", duration=1.0),  # no sizing
+    dict(fault_id="x", kind="mem_pressure", duration=1.0,
+         fraction=0.1, nbytes=100),  # both sizings
+    dict(fault_id="x", kind="mem_pressure", fraction=0.1),  # inf duration
+    dict(fault_id="x", kind="mem_pressure", duration=1.0, fraction=1.0),
+    dict(fault_id="x", kind="read_error", range_start=0),  # half a range
+    dict(fault_id="x", kind="read_error", range_start=10, range_end=10),
+    dict(fault_id="x", kind="tail_latency", range_start=0, range_end=10),
+    dict(fault_id="x", kind="tail_latency", file="feat"),
+])
+def test_invalid_specs_raise_config_error(kwargs):
+    with pytest.raises(ConfigError):
+        FaultSpec(**kwargs)
+
+
+def test_valid_targeted_spec():
+    s = FaultSpec("bad-lba", "read_error", file="features",
+                  range_start=4096, range_end=8192)
+    assert s.probability == 1.0  # targeted specs default to always-fail
+
+
+def test_plan_rejects_duplicates_and_non_specs():
+    a = FaultSpec("a", "read_error")
+    with pytest.raises(ConfigError):
+        FaultPlan((a, FaultSpec("a", "ring_error")))
+    with pytest.raises(ConfigError):
+        FaultPlan((a, "not-a-spec"))
+
+
+# ----------------------------------------------------------------------
+# Window math
+# ----------------------------------------------------------------------
+def test_one_shot_window():
+    s = FaultSpec("w", "throttle", factor=2.0, start=1.0, duration=0.5)
+    assert not s.active(0.9)
+    assert s.active(1.0)
+    assert s.active(1.49)
+    assert not s.active(1.5)
+    assert not s.active(100.0)
+
+
+def test_periodic_window_with_repeats():
+    s = FaultSpec("w", "throttle", factor=2.0, start=0.0, duration=0.1,
+                  period=1.0, repeats=2)
+    assert s.active(0.05) and s.active(1.05)
+    assert not s.active(0.5) and not s.active(1.5)
+    assert not s.active(2.05)  # third repetition is beyond the bound
+
+
+def test_active_mask_matches_scalar_active():
+    s = FaultSpec("w", "read_error", start=0.3, duration=0.2, period=0.7,
+                  repeats=3)
+    times = np.linspace(0.0, 3.0, 301)
+    mask = s.active_mask(times)
+    assert mask.tolist() == [s.active(float(t)) for t in times]
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def test_round_trip_equality(tmp_path):
+    plan = default_chaos_plan()
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    path = tmp_path / "plan.json"
+    plan.save(str(path))
+    assert load_plan(str(path)) == plan
+
+
+def test_to_dict_omits_defaults():
+    plan = FaultPlan((FaultSpec("a", "read_error", probability=0.5),))
+    spec = plan.to_dict()["specs"][0]
+    assert spec == {"fault_id": "a", "kind": "read_error",
+                    "probability": 0.5}
+    # In particular the infinite default duration never hits JSON.
+    assert "Infinity" not in json.dumps(plan.to_dict())
+
+
+def test_from_dict_accepts_id_shorthand():
+    plan = FaultPlan.from_dict(
+        {"specs": [{"id": "oops", "kind": "ring_error"}]})
+    assert plan.specs[0].fault_id == "oops"
+
+
+@pytest.mark.parametrize("data", [
+    "not-a-dict",
+    {"specs": [], "extra": 1},
+    {"specs": ["not-a-spec"]},
+    {"specs": [{"fault_id": "a", "kind": "read_error", "bogus": 1}]},
+    {"specs": [{"kind": "read_error"}]},  # missing fault_id
+])
+def test_from_dict_rejects_malformed(data):
+    with pytest.raises(ConfigError):
+        FaultPlan.from_dict(data)
+
+
+def test_load_plan_rejects_invalid_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{nope")
+    with pytest.raises(ConfigError):
+        load_plan(str(path))
+
+
+def test_empty_plan():
+    assert EMPTY_PLAN.is_empty
+    assert len(EMPTY_PLAN) == 0
+    assert not default_chaos_plan().is_empty

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigError
 from repro.simcore import Simulator
 from repro.storage import SSDDevice, SSDSpec, PM883, S3510
 
@@ -168,3 +169,73 @@ def test_write_event_contends_with_reads():
     t_w, t_r = sim.run_process(proc(sim))
     assert t_w == pytest.approx(1e-3)
     assert t_r == pytest.approx(2e-3)  # serialised on the same channel
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty batches and zero-byte requests
+# ----------------------------------------------------------------------
+def test_empty_batch_returns_empty_completions():
+    sim, dev = make_device()
+    done = dev.submit_batch(np.empty(0, dtype=np.int64))
+    assert done.shape == (0,)
+    assert dev.requests == 0 and dev.bytes_read == 0
+    assert dev.busy_time == 0.0
+
+
+def test_empty_batch_event_completes_now():
+    sim, dev = make_device()
+
+    def proc(sim):
+        done = yield dev.batch_event(np.empty(0, dtype=np.int64))
+        return sim.now, done
+
+    now, done = sim.run_process(proc(sim))
+    assert now == 0.0 and len(done) == 0
+
+
+def test_zero_byte_requests_complete_for_free():
+    sim, dev = make_device(latency=100e-6)
+    done = dev.submit_batch(np.zeros(3, dtype=np.int64))
+    assert list(done) == [0.0, 0.0, 0.0]  # no media latency, no channel
+    assert dev.busy_time == 0.0
+    assert dev.requests == 3 and dev.bytes_read == 0
+
+
+def test_zero_byte_requests_do_not_occupy_channels():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=2)
+    # Two real requests + two empties: the empties must not steal the
+    # two channels from the payload-carrying requests.
+    done = dev.submit_batch(np.array([1000, 0, 1000, 0]))
+    assert done[0] == pytest.approx(1e-3)
+    assert done[2] == pytest.approx(1e-3)
+    assert done[1] == 0.0 and done[3] == 0.0
+
+
+def test_zero_byte_requests_respect_io_depth_chain():
+    sim, dev = make_device(latency=0.0, bw=1e6, channels=4)
+    # depth 1: the zero-byte request still waits for its predecessor.
+    done = dev.submit_batch(np.array([1000, 0, 1000]), io_depth=1)
+    assert list(done) == pytest.approx([1e-3, 1e-3, 2e-3])
+
+
+def test_negative_sizes_rejected():
+    sim, dev = make_device()
+    with pytest.raises(ValueError):
+        dev.submit_batch(np.array([100, -1]))
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs", [
+    dict(read_latency=-1e-6),
+    dict(read_latency=float("nan")),
+    dict(channel_bandwidth=0.0),
+    dict(channel_bandwidth=float("inf")),
+    dict(channels=0),
+])
+def test_ssd_spec_validation(kwargs):
+    base = dict(read_latency=100e-6, channel_bandwidth=50e6, channels=4)
+    base.update(kwargs)
+    with pytest.raises(ConfigError):
+        SSDSpec(**base)

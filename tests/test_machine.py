@@ -98,3 +98,68 @@ def test_sample_cost_scale_slows_sampling_model():
     t_fast = fast.cpu_cost.sample_compute_time(100, 1000)
     t_slow = slow.cpu_cost.sample_compute_time(100, 1000)
     assert t_slow == pytest.approx(3 * t_fast)
+
+
+def test_machine_spec_validation():
+    from repro.errors import ConfigError
+
+    bad = [
+        dict(host_capacity=0),
+        dict(host_reserve=-1),
+        dict(host_reserve=int(32 * GB * DEFAULT_SCALE)),  # >= capacity
+        dict(cpu_cores=0),
+        dict(num_gpus=0),
+        dict(gpu_capacity=0),
+        dict(pcie_bandwidth=0.0),
+        dict(pcie_bandwidth=float("inf")),
+        dict(pcie_latency=-1e-6),
+        dict(sample_cost_scale=0.0),
+        dict(faults="not-a-plan"),
+    ]
+    for overrides in bad:
+        with pytest.raises(ConfigError):
+            MachineSpec.paper_scaled(host_gb=32, **overrides)
+
+
+def test_machine_without_faults_has_no_injector():
+    m = Machine(MachineSpec.paper_scaled(host_gb=32))
+    assert m.faults is None
+    assert m.ssd.faults is None
+    assert m.fault_counters() == {}
+    assert m.fault_counters_delta({}) == {}
+
+
+def test_machine_with_fault_plan_wires_injector():
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = FaultPlan((FaultSpec("noop", "read_error", probability=0.0),))
+    m = Machine(MachineSpec.paper_scaled(host_gb=32, faults=plan))
+    assert m.faults is not None
+    assert m.ssd.faults is m.faults
+    counters = m.fault_counters()
+    assert counters["injected"] == 0
+    m.faults.ledger.retried = 2
+    assert m.fault_counters_delta(counters) == {"retried": 2}
+
+
+def test_pressure_process_shrinks_and_restores_budget():
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = FaultPlan((FaultSpec("squeeze", "mem_pressure", fraction=0.25,
+                                start=1e-3, duration=2e-3, period=0.0),))
+    m = Machine(MachineSpec.paper_scaled(host_gb=32, faults=plan))
+    base = m.host.available
+
+    def watch(sim):
+        yield sim.timeout(2e-3)  # inside the episode
+        squeezed = m.host.available
+        yield sim.timeout(2e-3)  # after it
+        return squeezed, m.host.available
+
+    squeezed, after = m.sim.run_process(watch(m.sim))
+    expected = int(0.25 * m.spec.host_capacity)
+    assert squeezed == base - expected
+    assert after == base
+    led = m.faults.ledger
+    assert led.pressure_episodes == 1
+    assert led.pressure_time == pytest.approx(2e-3)
