@@ -278,7 +278,8 @@ class Ginex(TrainingSystem):
         m = self.machine
         io_size = self.dataset.features.io_size(direct=False)
         sizes = np.full(len(initial), io_size, dtype=np.int64)
-        ev = m.ssd.batch_event(sizes, io_depth=self.config.io_threads)
+        ev = m.ssd.batch_event(sizes, io_depth=self.config.io_threads,
+                               tag=self.dataset.feat_handle.name)
         yield from m.io_wait(ev)
 
     def _train_batch(self, sub: SampledSubgraph, misses: np.ndarray
@@ -291,7 +292,8 @@ class Ginex(TrainingSystem):
         if len(misses):
             io_size = self.dataset.features.io_size(direct=False)
             sizes = np.full(len(misses), io_size, dtype=np.int64)
-            ev = m.ssd.batch_event(sizes, io_depth=self.config.io_threads)
+            ev = m.ssd.batch_event(sizes, io_depth=self.config.io_threads,
+                                   tag=self.dataset.feat_handle.name)
             yield from m.io_wait(ev)
         self.stat_feature_misses += len(misses)
         self.stat_feature_hits += sub.num_sampled_nodes - len(misses)
@@ -353,6 +355,7 @@ class Ginex(TrainingSystem):
             m.sanitize_epoch_begin()
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
+            feat0 = m.ssd.read_bytes_for(self.dataset.feat_handle.name)
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
             f0 = m.fault_counters()
             done = sim.event()
@@ -368,7 +371,7 @@ class Ginex(TrainingSystem):
             stats = EpochStats(
                 epoch=epoch,
                 epoch_time=sim.now - t_start,
-                stages=self._stage,
+                stages=self._stage.snapshot(),
                 loss=(self._epoch_loss_sum / max(1, num_batches)
                       if not self.sample_only else float("nan")),
                 train_acc=self._epoch_correct / max(1, self._epoch_seen),
@@ -380,6 +383,8 @@ class Ginex(TrainingSystem):
                 loaded_nodes=self.stat_feature_misses,
                 faults=m.fault_counters_delta(f0),
             )
+            stats.extra["feat_bytes_read"] = (
+                m.ssd.read_bytes_for(self.dataset.feat_handle.name) - feat0)
             if eval_every and (epoch + 1) % eval_every == 0 \
                     and not self.sample_only:
                 stats.val_acc = self.evaluate()

@@ -149,8 +149,11 @@ class MariusGNN(TrainingSystem):
                       + self.buffer_partitions * self.partition_bytes)
         chunk = 1 << 16
         nchunks = max(1, prep_io // chunk)
+        # Partition traffic moves features (plus each partition's topology
+        # slice); attribute it to the feature file for the accounting plane.
         ev = m.ssd.batch_event(np.full(nchunks, chunk, dtype=np.int64),
-                               io_depth=self.config.io_threads)
+                               io_depth=self.config.io_threads,
+                               tag=self.dataset.feat_handle.name)
         yield from m.io_wait(ev)
 
     def _swap_partitions(self, prev: List[int], cur: List[int]) -> Generator:
@@ -162,7 +165,8 @@ class MariusGNN(TrainingSystem):
         chunk = 1 << 16
         nchunks = max(1, total // chunk)
         ev = m.ssd.batch_event(np.full(nchunks, chunk, dtype=np.int64),
-                               io_depth=self.config.io_threads)
+                               io_depth=self.config.io_threads,
+                               tag=self.dataset.feat_handle.name)
         yield from m.io_wait(ev)
 
     def _train_state(self, state: List[int], epoch: int) -> Generator:
@@ -256,6 +260,7 @@ class MariusGNN(TrainingSystem):
             m.sanitize_epoch_begin()
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
+            feat0 = m.ssd.read_bytes_for(self.dataset.feat_handle.name)
             f0 = m.fault_counters()
             done = sim.event()
             proc = sim.process(self._epoch_proc(epoch, done), name="marius")
@@ -269,13 +274,15 @@ class MariusGNN(TrainingSystem):
             stats = EpochStats(
                 epoch=epoch,
                 epoch_time=sim.now - t_start,
-                stages=self._stage,
+                stages=self._stage.snapshot(),
                 loss=self._epoch_loss_sum / max(1, self._num_batches),
                 train_acc=self._epoch_correct / max(1, self._epoch_seen),
                 num_batches=self._num_batches,
                 bytes_read=m.ssd.bytes_read - bytes0,
                 faults=m.fault_counters_delta(f0),
             )
+            stats.extra["feat_bytes_read"] = (
+                m.ssd.read_bytes_for(self.dataset.feat_handle.name) - feat0)
             stats.extra["data_prep_time"] = self._stage.data_prep
             stats.extra["training_time"] = (stats.epoch_time
                                             - self._stage.data_prep)

@@ -170,7 +170,10 @@ class PyGPlus(TrainingSystem):
             m.sanitize_epoch_begin()
             t_start = sim.now
             bytes0 = m.ssd.bytes_read
+            feat0 = m.ssd.read_bytes_for(self.dataset.feat_handle.name)
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
+            fhits0 = m.page_cache.hits_for(self.dataset.feat_handle.name)
+            fmiss0 = m.page_cache.misses_for(self.dataset.feat_handle.name)
             f0 = m.fault_counters()
             done = sim.event()
             for batch_id, seeds in enumerate(batches):
@@ -187,7 +190,7 @@ class PyGPlus(TrainingSystem):
             stats = EpochStats(
                 epoch=epoch,
                 epoch_time=sim.now - t_start,
-                stages=self._stage,
+                stages=self._stage.snapshot(),
                 loss=(self._epoch_loss_sum / max(1, len(batches))
                       if not self.sample_only else float("nan")),
                 train_acc=self._epoch_correct / max(1, self._epoch_seen),
@@ -197,6 +200,13 @@ class PyGPlus(TrainingSystem):
                 cache_misses=m.page_cache.misses - miss0,
                 faults=m.fault_counters_delta(f0),
             )
+            stats.extra["feat_bytes_read"] = (
+                m.ssd.read_bytes_for(self.dataset.feat_handle.name) - feat0)
+            stats.extra["feat_cache_hits"] = (
+                m.page_cache.hits_for(self.dataset.feat_handle.name) - fhits0)
+            stats.extra["feat_cache_misses"] = (
+                m.page_cache.misses_for(self.dataset.feat_handle.name)
+                - fmiss0)
             if eval_every and (epoch + 1) % eval_every == 0 \
                     and not self.sample_only:
                 stats.val_acc = self.evaluate()

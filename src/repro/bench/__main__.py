@@ -5,14 +5,18 @@ Subcommands::
     python -m repro.bench hotpath [-o BENCH_hotpath.json]
     python -m repro.bench determinism [-o BENCH_determinism.json]
     python -m repro.bench faults [-o BENCH_faults.json] [--plan plan.json]
+    python -m repro.bench oracle [-o BENCH_oracle.json] [--fuzz N] [--regen]
 
 ``hotpath`` runs the data-plane microbenchmarks (vectorized vs. seed
 reference implementations); ``determinism`` replays every system twice
 under the runtime sanitizer and diffs the event traces (see
 :mod:`repro.bench.determinism`); ``faults`` chaos-runs every system
 under a deterministic fault plan and checks the recovery runtime
-survives it (see :mod:`repro.bench.faults`).  All finish in well under
-a minute and write a JSON artifact.
+survives it (see :mod:`repro.bench.faults`); ``oracle`` checks the
+differential/metamorphic oracle catalogue over the scenario matrix,
+the pinned golden traces, and a seeded scenario fuzz (see
+:mod:`repro.bench.oracle`).  All write a JSON artifact and exit
+non-zero on failure.
 """
 
 from __future__ import annotations
@@ -59,6 +63,23 @@ def main(argv=None) -> int:
                           "chaos plan)")
     flt.add_argument("--quiet", action="store_true",
                      help="suppress the per-system table")
+    orc = sub.add_parser(
+        "oracle",
+        help="correctness oracles: matrix + golden traces + scenario "
+             "fuzz (writes BENCH_oracle.json)")
+    orc.add_argument("-o", "--output", default="BENCH_oracle.json",
+                     help="output JSON path (default: %(default)s)")
+    orc.add_argument("--fuzz", type=int, default=50,
+                     help="sampled fuzz scenarios (default: %(default)s; "
+                          "0 disables the fuzz layer)")
+    orc.add_argument("--fuzz-seed", type=int, default=0,
+                     help="scenario-sampler seed (default: %(default)s)")
+    orc.add_argument("--no-golden", action="store_true",
+                     help="skip the golden-digest layer")
+    orc.add_argument("--regen", action="store_true",
+                     help="rewrite tests/golden/ instead of checking")
+    orc.add_argument("--quiet", action="store_true",
+                     help="suppress the per-scenario lines")
     args = parser.parse_args(argv)
 
     if args.command == "hotpath":
@@ -82,6 +103,14 @@ def main(argv=None) -> int:
             plan=plan, epochs=args.epochs, output=args.output,
             verbose=not args.quiet)
         return 0 if artifact["completed"] else 1
+    if args.command == "oracle":
+        from repro.bench.oracle import run_oracle, run_regen
+        if args.regen:
+            return 0 if run_regen(verbose=not args.quiet)["ok"] else 1
+        artifact = run_oracle(fuzz=args.fuzz, fuzz_seed=args.fuzz_seed,
+                              golden=not args.no_golden,
+                              output=args.output, verbose=not args.quiet)
+        return 0 if artifact["ok"] else 1
     return 2
 
 

@@ -1,0 +1,110 @@
+"""Correctness-oracle bench: matrix + golden pin + scenario fuzz.
+
+``python -m repro.bench oracle`` drives three layers of checking and
+writes ``BENCH_oracle.json``:
+
+1. **Matrix** — every scenario in :data:`repro.oracle.DEFAULT_MATRIX`
+   runs through the full oracle catalogue (differential relations
+   between the five systems, metamorphic monotonicity relations within
+   each system).  Zero violations required.
+2. **Golden** — the pinned ``golden-tiny`` scenario re-runs and its
+   per-system trace digests are diffed against ``tests/golden/``; a
+   mismatch reports the first divergent event.  ``--regen`` rewrites
+   the golden files instead (after an *intended* behaviour change).
+3. **Fuzz** — ``--fuzz N`` scenarios sampled deterministically from the
+   configuration space (:func:`repro.oracle.sample_scenarios`), each
+   run through the same catalogue.  Same seed => same scenarios, so a
+   red artifact is replayable bit-for-bit.
+
+The exit code is non-zero as soon as any layer reports a violation —
+this is the CI tripwire for silent simulator-behaviour drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence
+
+from repro.oracle import (DEFAULT_MATRIX, GOLDEN_SCENARIO, check_golden,
+                          check_scenario, golden_digests, regen_golden,
+                          sample_scenarios)
+from repro.oracle.scenario import Scenario
+
+
+def _check_many(scenarios: Sequence[Scenario], verbose: bool,
+                label: str) -> Dict:
+    reports = []
+    for sc in scenarios:
+        report = check_scenario(sc)
+        reports.append(report)
+        if verbose:
+            mark = "ok" if report["ok"] else "FAIL"
+            print(f"{label} {sc.name:<16} {mark}  "
+                  f"({len(report['checked'])} oracles, "
+                  f"{len(report['skipped'])} n/a)")
+            for v in report["violations"]:
+                print(f"    {v}")
+    return {"scenarios": [r["scenario"] for r in reports],
+            "reports": reports,
+            "violations": [v for r in reports for v in r["violations"]],
+            "ok": all(r["ok"] for r in reports)}
+
+
+def _check_golden_layer(verbose: bool, golden_dir: Optional[str]) -> Dict:
+    """Golden-digest layer: compare against the committed pin."""
+    kw = {} if golden_dir is None else {"golden_dir": golden_dir}
+    layer: Dict = {"scenario": GOLDEN_SCENARIO.to_dict()}
+    if not golden_digests(**kw):
+        layer.update(ok=False, mismatches=[],
+                     error="no golden digests committed; run "
+                           "`repro oracle --regen` and commit tests/golden/")
+        if verbose:
+            print(f"golden: MISSING ({layer['error']})")
+        return layer
+    mismatches = check_golden(**kw)
+    layer.update(ok=not mismatches, mismatches=mismatches)
+    if verbose:
+        if mismatches:
+            for m in mismatches:
+                print(f"golden {m['system']:<14} FAIL  {m['detail']}")
+        else:
+            print("golden: all pinned digests match")
+    return layer
+
+
+def run_oracle(matrix: Sequence[Scenario] = DEFAULT_MATRIX,
+               fuzz: int = 50, fuzz_seed: int = 0,
+               golden: bool = True,
+               golden_dir: Optional[str] = None,
+               output: Optional[str] = "BENCH_oracle.json",
+               verbose: bool = True) -> Dict:
+    """Run the three oracle layers and write the JSON artifact."""
+    artifact: Dict = {"fuzz_seed": fuzz_seed}
+    artifact["matrix"] = _check_many(matrix, verbose, "matrix")
+    if golden:
+        artifact["golden"] = _check_golden_layer(verbose, golden_dir)
+    if fuzz > 0:
+        artifact["fuzz"] = _check_many(
+            sample_scenarios(fuzz, seed=fuzz_seed), verbose, "fuzz")
+    artifact["ok"] = all(layer.get("ok", True)
+                         for layer in artifact.values()
+                         if isinstance(layer, dict))
+    if verbose:
+        print("oracle bench:", "ok" if artifact["ok"] else "VIOLATIONS")
+    if output:
+        with open(output, "w") as fh:
+            json.dump(artifact, fh, indent=2, default=str)
+        if verbose:
+            print(f"wrote {output}")
+    return artifact
+
+
+def run_regen(verbose: bool = True) -> Dict:
+    """``--regen``: rewrite ``tests/golden/`` from the pinned scenario."""
+    digests = regen_golden()
+    if verbose:
+        for system, digest in sorted(digests.items()):
+            print(f"pinned {system:<14} {digest}")
+        print("golden files rewritten under tests/golden/ — "
+              "review the diff and commit them with the change")
+    return {"ok": True, "digests": digests}

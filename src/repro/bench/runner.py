@@ -71,8 +71,11 @@ def get_dataset(name: str, dim: Optional[int] = None, scale: float = 1.0,
 
 SYSTEM_NAMES = ("gnndrive-gpu", "gnndrive-cpu", "pyg+", "ginex",
                 "mariusgnn")
-#: Diagnostic reference, not a paper baseline (see baselines.inmemory).
-EXTRA_SYSTEMS = ("in-memory",)
+#: Diagnostic reference, not a paper baseline (see baselines.inmemory),
+#: plus the explicit data-parallel wrapper ("multigpu" always builds
+#: MultiGPUGNNDrive, even with num_workers=1 — the oracle harness uses
+#: that to check multigpu(1) ≡ single-GPU).
+EXTRA_SYSTEMS = ("in-memory", "multigpu")
 
 
 def build_system(system: str, machine: Machine, dataset: DiskDataset,
@@ -98,6 +101,10 @@ def build_system(system: str, machine: Machine, dataset: DiskDataset,
                      sample_only=sample_only)
     if system == "mariusgnn":
         return MariusGNN(machine, dataset, train_cfg, MariusConfig())
+    if system == "multigpu":
+        cfg = (gnndrive_config or GNNDriveConfig()).with_(device="gpu")
+        return MultiGPUGNNDrive(machine, dataset, train_cfg, cfg,
+                                num_workers=num_workers)
     if system == "in-memory":
         return InMemory(machine, dataset, train_cfg)
     raise ValueError(f"unknown system {system!r}; "

@@ -12,6 +12,10 @@ Commands
     Regenerate one paper artifact (fig2..fig14, tab1, tab2, figB1).
 ``fio``
     The Appendix-B storage microbenchmark.
+``oracle``
+    The correctness-oracle harness: scenario matrix, pinned golden
+    traces (``--regen`` to re-pin), optional scenario fuzz.  Exits
+    non-zero on any violation.
 ``lint``
     The determinism linter over the source tree (also available as
     ``python -m repro.lint``).
@@ -71,20 +75,33 @@ def cmd_datasets(args) -> int:
 
 def cmd_run(args) -> int:
     from repro.bench.runner import run_system
+    from repro.errors import SanitizerError, SimulationError
 
     ds, cfg = _workload(args)
     plan = None
     if args.faults:
         from repro.faults import load_plan
         plan = load_plan(args.faults)
-    res = run_system(args.system, ds, cfg, host_gb=args.host_gb,
-                     epochs=args.epochs, warmup_epochs=0,
-                     data_scale=args.scale,
-                     eval_every=1 if args.eval else 0,
-                     fault_plan=plan,
-                     keep_machine=plan is not None)
+    try:
+        res = run_system(args.system, ds, cfg, host_gb=args.host_gb,
+                         epochs=args.epochs, warmup_epochs=0,
+                         data_scale=args.scale,
+                         eval_every=1 if args.eval else 0,
+                         fault_plan=plan,
+                         sanitize=args.sanitize,
+                         keep_machine=plan is not None or args.sanitize)
+    except (SanitizerError, SimulationError) as exc:
+        # The machine's sanitizer is strict: any finding (leak, bad
+        # schedule, ring violation, structural corruption) raises.
+        print(f"{args.system}: sanitizer violation: {exc}")
+        return 1
     if not res.ok:
         print(f"{args.system}: {res.status} ({res.error})")
+        return 1
+    san = res.machine.sanitizer if res.machine is not None else None
+    if san is not None and not san.clean:
+        for f in san.findings:
+            print(f"sanitizer finding: {f.render()}")
         return 1
     rows = []
     for s in res.stats:
@@ -155,6 +172,16 @@ def cmd_fio(args) -> int:
     return 0
 
 
+def cmd_oracle(args) -> int:
+    from repro.bench.oracle import run_oracle, run_regen
+
+    if args.regen:
+        return 0 if run_regen()["ok"] else 1
+    artifact = run_oracle(fuzz=args.fuzz, fuzz_seed=args.fuzz_seed,
+                          output=args.output)
+    return 0 if artifact["ok"] else 1
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.linter import main as lint_main
 
@@ -182,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="PLAN.json",
                    help="fault-plan JSON file: run under deterministic "
                         "fault injection (see examples/chaos_plan.json)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="attach the strict runtime sanitizer; any "
+                        "finding makes the command exit non-zero")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("compare", help="compare systems on one workload")
@@ -199,6 +229,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fio", help="Appendix-B storage microbenchmark")
     p.set_defaults(fn=cmd_fio)
+
+    p = sub.add_parser(
+        "oracle",
+        help="correctness oracles: scenario matrix, golden traces, fuzz")
+    p.add_argument("--regen", action="store_true",
+                   help="rewrite tests/golden/ from the pinned scenario "
+                        "instead of checking")
+    p.add_argument("--fuzz", type=int, default=0,
+                   help="additionally fuzz N sampled scenarios "
+                        "(default: matrix + golden only)")
+    p.add_argument("--fuzz-seed", type=int, default=0)
+    p.add_argument("--output", default=None,
+                   help="also write the JSON artifact here")
+    p.set_defaults(fn=cmd_oracle)
 
     p = sub.add_parser(
         "lint", help="determinism linter (DET101-DET107) over the tree")

@@ -124,14 +124,24 @@ class GNNDrive(TrainingSystem):
         # buffer small enough that the topology index stays cacheable.
         # ------------------------------------------------------------
         topo_room = dataset.topo_nbytes() + dataset.indptr_nbytes()
-        staging_budget = max(
-            self.max_batch_nodes * io_size,          # >= one extractor
-            m.host.capacity - topo_room - m.host.pinned_bytes
-            - (m.host.capacity // 8),                # breathing room
-        )
-        self.num_extractors = max(1, min(
-            config.num_extractors,
-            staging_budget // (self.max_batch_nodes * io_size)))
+        if shared is not None and shared.staging is not None:
+            # The group already sized the shared staging from its
+            # probe's adapted extractor count; recomputing from
+            # pinned_bytes here would double-count the shared buffer
+            # and under-provision this worker relative to the
+            # equivalent single-process system.
+            self.num_extractors = max(
+                1, shared.staging.portion_capacity
+                // (self.max_batch_nodes * io_size))
+        else:
+            staging_budget = max(
+                self.max_batch_nodes * io_size,      # >= one extractor
+                m.host.capacity - topo_room - m.host.pinned_bytes
+                - (m.host.capacity // 8),            # breathing room
+            )
+            self.num_extractors = max(1, min(
+                config.num_extractors,
+                staging_budget // (self.max_batch_nodes * io_size)))
 
         # ------------------------------------------------------------
         # Feature buffer placement and adaptive sizing (§4.2).
@@ -594,6 +604,7 @@ class GNNDrive(TrainingSystem):
             m.sanitize_epoch_begin()
             t_start = m.sim.now
             ssd_bytes0 = m.ssd.bytes_read
+            feat0 = m.ssd.read_bytes_for(self.dataset.feat_handle.name)
             hits0, miss0 = m.page_cache.hits, m.page_cache.misses
             reuse0 = self.feature_buffer.stat_reused
             load0 = self.feature_buffer.stat_loaded
@@ -611,7 +622,7 @@ class GNNDrive(TrainingSystem):
             stats = EpochStats(
                 epoch=epoch,
                 epoch_time=m.sim.now - t_start,
-                stages=self._stage,
+                stages=self._stage.snapshot(),
                 loss=self._epoch_loss_sum / max(1, len(batches)),
                 train_acc=self._epoch_correct / max(1, self._epoch_seen),
                 num_batches=len(batches),
@@ -622,6 +633,8 @@ class GNNDrive(TrainingSystem):
                 loaded_nodes=self.feature_buffer.stat_loaded - load0,
                 faults=m.fault_counters_delta(f0),
             )
+            stats.extra["feat_bytes_read"] = (
+                m.ssd.read_bytes_for(self.dataset.feat_handle.name) - feat0)
             if eval_every and (epoch + 1) % eval_every == 0:
                 stats.val_acc = self.evaluate()
             self.epoch_stats.append(stats)

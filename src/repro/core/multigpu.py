@@ -119,28 +119,48 @@ class MultiGPUGNNDrive(TrainingSystem):
 
         # Shared resources: one staging buffer with per-worker portions,
         # one resident indptr (the base class already pinned ours).
+        # The probe must size itself against the pinned state a
+        # standalone single-GPU system would see; our indptr pin would
+        # stack on top of the probe's private one and shrink its staging
+        # budget, so hand it back for the probe's lifetime.
+        machine.host.free(self._indptr_alloc)
         probe = GNNDrive(machine, dataset, train_cfg,
                          config.with_(device=config.device))
         max_batch_nodes = probe.max_batch_nodes
         io_size = probe.io_size
+        # The probe already adapted its extractor count to the staging
+        # budget; size the shared buffer from that, not the raw config —
+        # otherwise a memory-constrained multigpu run pins more staging
+        # than the equivalent single-GPU system would.
+        num_extractors = probe.num_extractors
         probe.teardown()
         self._release_probe(probe)
+        self._indptr_alloc = machine.host.allocate(
+            dataset.indptr_nbytes(), tag="indptr")
 
         staging = None
         if config.device == "gpu":
             staging = StagingBuffer(
-                machine.host, config.num_extractors * num_workers,
+                machine.host, num_extractors * num_workers,
                 max_batch_nodes, io_size, num_portions=num_workers)
         sync = GradientSyncGroup(machine.sim, num_workers,
                                  self.model.num_parameters() * 4)
         self.shared = SharedResources(staging, sync, self._indptr_alloc)
 
         # Segments: equal batch counts per worker (DDP lockstep).
-        segments = split_segments(dataset.train_idx, num_workers,
-                                  self.streams.get("segments"))
-        min_len = min(len(s) for s in segments)
-        usable = (min_len // train_cfg.batch_size) * train_cfg.batch_size
-        usable = max(usable, train_cfg.batch_size if min_len >= train_cfg.batch_size else min_len)
+        if num_workers == 1:
+            # One worker degenerates to single-process GNNDrive: keep the
+            # training split untouched (no shuffle-split, no truncation)
+            # so stats and trace match the single-GPU system exactly —
+            # the multigpu(1) ≡ single differential oracle.
+            segments = [np.asarray(dataset.train_idx)]
+            usable = len(segments[0])
+        else:
+            segments = split_segments(dataset.train_idx, num_workers,
+                                      self.streams.get("segments"))
+            min_len = min(len(s) for s in segments)
+            usable = (min_len // train_cfg.batch_size) * train_cfg.batch_size
+            usable = max(usable, train_cfg.batch_size if min_len >= train_cfg.batch_size else min_len)
 
         self.workers: List[GNNDrive] = []
         for k in range(num_workers):
@@ -180,15 +200,25 @@ class MultiGPUGNNDrive(TrainingSystem):
             m.sanitize_epoch_begin()
             t_start = m.sim.now
             f0 = m.fault_counters()
+            bytes0 = m.ssd.bytes_read
+            feat0 = m.ssd.read_bytes_for(self.dataset.feat_handle.name)
+            hits0, miss0 = m.page_cache.hits, m.page_cache.misses
+            reuse0 = sum(w.feature_buffer.stat_reused for w in self.workers)
+            load0 = sum(w.feature_buffer.stat_loaded for w in self.workers)
             dones = []
             agg = StageBreakdown()
+            total_batches = 0
             for w in self.workers:
                 batches = w.plan.epoch_batches()
+                total_batches += len(batches)
                 w._epoch_expected[epoch] = len(batches)
                 done = m.sim.event()
                 w._epoch_done[epoch] = done
                 dones.append(done)
                 w._stage = StageBreakdown()
+                w._epoch_loss_sum = 0.0
+                w._epoch_correct = 0
+                w._epoch_seen = 0
                 for batch_id, seeds in enumerate(batches):
                     w.pending_q.put((epoch, batch_id, seeds))
             while not all(d.triggered for d in dones):
@@ -202,13 +232,27 @@ class MultiGPUGNNDrive(TrainingSystem):
                 agg.extract += w._stage.extract
                 agg.train += w._stage.train
                 agg.release += w._stage.release
+            loss_sum = sum(w._epoch_loss_sum for w in self.workers)
+            correct = sum(w._epoch_correct for w in self.workers)
+            seen = sum(w._epoch_seen for w in self.workers)
             stats = EpochStats(
                 epoch=epoch,
                 epoch_time=m.sim.now - t_start,
                 stages=agg,
-                num_batches=sum(w.plan.num_batches for w in self.workers),
+                loss=loss_sum / max(1, total_batches),
+                train_acc=correct / max(1, seen),
+                num_batches=total_batches,
+                bytes_read=m.ssd.bytes_read - bytes0,
+                cache_hits=m.page_cache.hits - hits0,
+                cache_misses=m.page_cache.misses - miss0,
+                reused_nodes=sum(w.feature_buffer.stat_reused
+                                 for w in self.workers) - reuse0,
+                loaded_nodes=sum(w.feature_buffer.stat_loaded
+                                 for w in self.workers) - load0,
                 faults=m.fault_counters_delta(f0),
             )
+            stats.extra["feat_bytes_read"] = (
+                m.ssd.read_bytes_for(self.dataset.feat_handle.name) - feat0)
             # Worker 0's model is representative (all replicas identical).
             self.model = self.workers[0].model
             if eval_every and (epoch + 1) % eval_every == 0:

@@ -24,6 +24,17 @@ class StageBreakdown:
         return (self.sample + self.extract + self.train + self.release
                 + self.data_prep)
 
+    def snapshot(self) -> "StageBreakdown":
+        """Value copy for freezing into :class:`EpochStats`.
+
+        Systems accumulate into one live breakdown per epoch; storing
+        that object by reference lets late pipeline events (e.g. a
+        trailing release span processed during shutdown) retroactively
+        mutate already-published epoch stats.
+        """
+        return StageBreakdown(self.sample, self.extract, self.train,
+                              self.release, self.data_prep)
+
 
 @dataclass
 class EpochStats:

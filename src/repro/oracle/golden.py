@@ -1,0 +1,152 @@
+"""Golden-trace pinning: per-system digests + full traces on disk.
+
+``tests/golden/`` holds, for one pinned scenario, every system's event
+trace digest (``digests.json``) and the full event trace as text (one
+``trace-<system>.txt`` per system, one event per line).  A tier-1 test
+re-runs the pinned scenario and diffs; on mismatch the report names the
+first divergent event — the sanitizer's trace tuples make that a
+readable "who fired when" line rather than a bare hash inequality.
+
+Regen workflow: after an *intended* behaviour change, run
+``repro oracle --regen`` (or ``python -m repro.bench oracle --regen``),
+eyeball the diff of ``tests/golden/`` in the commit, and land both
+together.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.oracle.scenario import Scenario, ScenarioRunner
+
+#: Repo-relative golden directory (resolved against this file's repo).
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+GOLDEN_DIR = os.path.join(_REPO_ROOT, "tests", "golden")
+
+#: The pinned scenario: small enough that full traces are committable
+#: text files, rich enough to exercise every system's actor pipeline.
+GOLDEN_SCENARIO = Scenario(name="golden-tiny", dataset="tiny",
+                           host_gb=32.0, epochs=2)
+
+#: Systems pinned (the five paper systems + the data-parallel wrapper).
+GOLDEN_SYSTEMS = ("gnndrive-gpu", "gnndrive-cpu", "multigpu", "pyg+",
+                  "ginex", "mariusgnn")
+
+#: multigpu is pinned at two workers so the golden actually covers the
+#: data-parallel path (one worker is the single-GPU system bit-for-bit).
+_NUM_WORKERS = {"multigpu": 2}
+
+
+def _trace_lines(trace: List[Tuple]) -> List[str]:
+    """Render sanitizer trace tuples as stable text lines."""
+    return [f"{when!r}\t{priority}\t{seq}\t{kind}\t{name}"
+            for when, priority, seq, kind, name in trace]
+
+
+def _run_all(scenario: Scenario) -> Dict[str, object]:
+    runner = ScenarioRunner(scenario)
+    runs = {}
+    for system in GOLDEN_SYSTEMS:
+        runs[system] = runner.run(
+            system, num_workers=_NUM_WORKERS.get(system, 1))
+    return runs
+
+
+def golden_digests(golden_dir: str = GOLDEN_DIR) -> Dict[str, str]:
+    """The pinned {system: digest} map ({} when never regenerated)."""
+    path = os.path.join(golden_dir, "digests.json")
+    if not os.path.exists(path):
+        return {}
+    with open(path) as f:
+        return json.load(f)["digests"]
+
+
+def regen_golden(golden_dir: str = GOLDEN_DIR) -> Dict[str, str]:
+    """Re-run the pinned scenario and overwrite the golden files."""
+    os.makedirs(golden_dir, exist_ok=True)
+    runs = _run_all(GOLDEN_SCENARIO)
+    digests = {}
+    for system, run in runs.items():
+        if not run.ok:
+            raise RuntimeError(
+                f"golden regen: {system} did not complete: {run.error}")
+        digests[system] = run.digest
+        with open(os.path.join(golden_dir, _trace_name(system)), "w") as f:
+            f.write("\n".join(_trace_lines(run.trace)) + "\n")
+    with open(os.path.join(golden_dir, "digests.json"), "w") as f:
+        json.dump({"scenario": GOLDEN_SCENARIO.to_dict(),
+                   "digests": digests}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return digests
+
+
+def _trace_name(system: str) -> str:
+    return f"trace-{system.replace('+', 'plus')}.txt"
+
+
+def first_divergence_vs_golden(system: str, trace: List[Tuple],
+                               golden_dir: str = GOLDEN_DIR
+                               ) -> Optional[Dict[str, object]]:
+    """First event where *trace* departs from the pinned trace.
+
+    Returns None when identical (or no golden trace exists); otherwise
+    ``{"step": i, "golden": line_or_None, "current": line_or_None}``.
+    """
+    path = os.path.join(golden_dir, _trace_name(system))
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        golden_lines = f.read().splitlines()
+    current_lines = _trace_lines(trace)
+    for i, (g, c) in enumerate(zip(golden_lines, current_lines)):
+        if g != c:
+            return {"step": i, "golden": g, "current": c}
+    if len(golden_lines) != len(current_lines):
+        i = min(len(golden_lines), len(current_lines))
+        return {"step": i,
+                "golden": golden_lines[i] if i < len(golden_lines) else None,
+                "current": current_lines[i] if i < len(current_lines) else None}
+    return None
+
+
+def check_golden(golden_dir: str = GOLDEN_DIR) -> List[Dict[str, object]]:
+    """Re-run the pinned scenario and diff against the golden files.
+
+    Returns one mismatch record per diverging system: the pinned and
+    current digests plus the first divergent event (when the golden
+    trace file is present).  Empty list = everything matches.
+    """
+    pinned = golden_digests(golden_dir)
+    if not pinned:
+        raise FileNotFoundError(
+            f"no golden digests under {golden_dir}; run "
+            f"`repro oracle --regen` once and commit the result")
+    runs = _run_all(GOLDEN_SCENARIO)
+    mismatches: List[Dict[str, object]] = []
+    for system, run in runs.items():
+        want = pinned.get(system)
+        if want is None:
+            mismatches.append({"system": system, "golden_digest": None,
+                               "current_digest": run.digest,
+                               "divergence": None,
+                               "detail": "system not pinned; regen"})
+            continue
+        if not run.ok:
+            mismatches.append({"system": system, "golden_digest": want,
+                               "current_digest": None, "divergence": None,
+                               "detail": f"run failed: {run.error}"})
+            continue
+        if run.digest != want:
+            div = first_divergence_vs_golden(system, run.trace, golden_dir)
+            detail = "trace digest changed"
+            if div is not None:
+                detail += (f"; first divergence at step {div['step']}: "
+                           f"golden={div['golden']!r} "
+                           f"current={div['current']!r}")
+            mismatches.append({"system": system, "golden_digest": want,
+                               "current_digest": run.digest,
+                               "divergence": div, "detail": detail})
+    return mismatches

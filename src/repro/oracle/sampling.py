@@ -1,0 +1,63 @@
+"""Deterministic scenario-space sampling (the fuzzer's generator).
+
+One seeded draw function used from two places with identical semantics:
+
+* ``python -m repro.bench oracle`` fuzzes ``--fuzz N`` sampled
+  scenarios per run (seeded, so artifacts are reproducible);
+* ``tests/oracle/strategies.py`` mirrors the same value ranges as
+  hypothesis strategies for shrinking, and the committed regression
+  corpus under ``tests/oracle/corpus/`` replays prior finds exactly.
+
+The ranges are chosen to stay *valid* (no deliberately broken configs:
+the oracle harness checks invariants of working runs; crash corners are
+the fault plane's job) while still crossing the interesting boundaries:
+host budgets from starved to ample, both SSD presets, channel counts
+from serial-ish to wide, contended and uncontended datasets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.oracle.scenario import Scenario
+
+#: The sampled dimensions and their value pools.
+DATASETS = ("tiny", "papers100m-mini")
+#: (dataset -> usable scales): papers100m-mini is generated shrunken so
+#: fuzz runs stay fast; tiny is already minimal.
+DATASET_SCALES = {"tiny": (1.0,), "papers100m-mini": (0.1, 0.15)}
+HOST_GB = (8.0, 16.0, 32.0, 64.0)
+BATCH_SIZES = (10, 25, 50)
+MODEL_KINDS = ("sage", "gcn")
+SSDS = ("PM883", "S3510")
+CHANNELS = (None, 2, 4, 8)
+EPOCHS = (1, 2)
+FAULT_PLANS = ("none", "none", "chaos")  # chaos at 1/3 weight
+
+
+def sample_scenarios(n: int, seed: int = 0) -> List[Scenario]:
+    """Draw *n* valid scenarios, deterministically from *seed*."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x0AC1E]))
+    out: List[Scenario] = []
+    for i in range(n):
+        dataset = DATASETS[rng.integers(len(DATASETS))]
+        scales = DATASET_SCALES[dataset]
+        scenario = Scenario(
+            name=f"fuzz-{seed}-{i}",
+            dataset=dataset,
+            dataset_scale=float(scales[rng.integers(len(scales))]),
+            host_gb=float(HOST_GB[rng.integers(len(HOST_GB))]),
+            epochs=int(EPOCHS[rng.integers(len(EPOCHS))]),
+            batch_size=int(BATCH_SIZES[rng.integers(len(BATCH_SIZES))]),
+            model_kind=MODEL_KINDS[rng.integers(len(MODEL_KINDS))],
+            ssd=SSDS[rng.integers(len(SSDS))],
+            ssd_channels=CHANNELS[rng.integers(len(CHANNELS))],
+            fault_plan=FAULT_PLANS[rng.integers(len(FAULT_PLANS))],
+            seed=int(rng.integers(4)),
+        )
+        out.append(scenario)
+    return out

@@ -1,0 +1,193 @@
+"""Oracle scenarios: one serialisable point in configuration space.
+
+A :class:`Scenario` pins everything a run depends on — dataset, machine
+budget, SSD geometry, workload, fault plan, seed — as plain JSON-safe
+values, so scenarios can live in a committed regression corpus and be
+replayed bit-for-bit.  A :class:`ScenarioRunner` executes systems under
+a scenario (always sanitized), memoising runs so that several oracles
+sharing a baseline run pay for it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.runner import get_dataset, run_system
+from repro.core.base import TrainConfig
+from repro.faults import EMPTY_PLAN, default_chaos_plan
+from repro.machine import DEFAULT_SCALE, MachineSpec
+from repro.storage import PM883, S3510
+
+#: Systems the oracle matrix sweeps (the five paper systems; the
+#: multigpu wrapper is exercised by the one-worker equivalence oracle).
+ORACLE_SYSTEMS = ("gnndrive-gpu", "gnndrive-cpu", "pyg+", "ginex",
+                  "mariusgnn")
+
+_SSD_PRESETS = {"PM883": PM883, "S3510": S3510}
+_FAULT_PLANS = ("none", "empty", "chaos")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the scenario space, JSON round-trippable."""
+
+    name: str
+    dataset: str = "tiny"
+    dataset_scale: float = 1.0
+    host_gb: float = 32.0
+    epochs: int = 2
+    batch_size: int = 50
+    model_kind: str = "sage"
+    ssd: str = "PM883"
+    #: Override the preset's channel count (None keeps the preset's).
+    ssd_channels: Optional[int] = None
+    #: "none" | "empty" | "chaos" (the default deterministic chaos plan).
+    fault_plan: str = "none"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.ssd not in _SSD_PRESETS:
+            raise ValueError(f"unknown SSD preset {self.ssd!r}; "
+                             f"known: {sorted(_SSD_PRESETS)}")
+        if self.fault_plan not in _FAULT_PLANS:
+            raise ValueError(f"unknown fault plan {self.fault_plan!r}; "
+                             f"known: {_FAULT_PLANS}")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not self.host_gb > 0:
+            raise ValueError("host_gb must be positive")
+        if not 0 < self.dataset_scale <= 1.0:
+            raise ValueError("dataset_scale must be in (0, 1]")
+        if self.ssd_channels is not None and self.ssd_channels < 1:
+            raise ValueError("ssd_channels must be >= 1")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: Dict) -> "Scenario":
+        return Scenario(**d)
+
+    # ------------------------------------------------------------------
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(model_kind=self.model_kind,
+                           batch_size=self.batch_size, seed=self.seed)
+
+    def ssd_spec(self, channels: Optional[int] = None):
+        spec = _SSD_PRESETS[self.ssd]
+        channels = channels if channels is not None else self.ssd_channels
+        if channels is not None:
+            spec = replace(spec, channels=channels)
+        return spec
+
+    def machine_spec(self, host_gb: Optional[float] = None,
+                     channels: Optional[int] = None,
+                     num_gpus: int = 1) -> MachineSpec:
+        return MachineSpec.paper_scaled(
+            host_gb=host_gb if host_gb is not None else self.host_gb,
+            scale=DEFAULT_SCALE * self.dataset_scale,
+            num_gpus=num_gpus,
+            ssd=self.ssd_spec(channels),
+            sanitize=True, sanitize_trace=True)
+
+    def resolve_fault_plan(self):
+        if self.fault_plan == "empty":
+            return EMPTY_PLAN
+        if self.fault_plan == "chaos":
+            return default_chaos_plan()
+        return None
+
+
+@dataclass
+class SystemRun:
+    """One system executed under a scenario (or a perturbation of it)."""
+
+    system: str
+    status: str                   # 'ok' | 'OOM' | 'OOT'
+    stats: List                   # List[EpochStats] when ok
+    digest: str = ""
+    trace: Optional[List[Tuple]] = None
+    findings: List[str] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def total_epoch_time(self) -> float:
+        return sum(s.epoch_time for s in self.stats)
+
+    def warm_stats(self) -> List:
+        """Stats past the cold first epoch (cache warm-up excluded)."""
+        return self.stats[1:] if len(self.stats) > 1 else self.stats
+
+
+class ScenarioRunner:
+    """Memoising executor: ``run(system, **perturbations)``.
+
+    Every run is sanitized with full tracing, so oracles can compare
+    digests and first-divergent events for free.  OOM/OOT outcomes are
+    legal scenario results (some corners of the space are *supposed* to
+    fail); oracles treat them as "not applicable" rather than errors.
+    """
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self._cache: Dict[Tuple, SystemRun] = {}
+
+    def run(self, system: str,
+            host_gb: Optional[float] = None,
+            channels: Optional[int] = None,
+            epochs: Optional[int] = None,
+            fault_plan: Optional[str] = None,
+            num_workers: int = 1) -> SystemRun:
+        key = (system, host_gb, channels, epochs, fault_plan, num_workers)
+        if key not in self._cache:
+            self._cache[key] = self._execute(system, host_gb, channels,
+                                             epochs, fault_plan, num_workers)
+        return self._cache[key]
+
+    def _execute(self, system, host_gb, channels, epochs, fault_plan,
+                 num_workers) -> SystemRun:
+        sc = self.scenario
+        plan_name = fault_plan if fault_plan is not None else sc.fault_plan
+        plan = replace(sc, fault_plan=plan_name).resolve_fault_plan()
+        dataset = get_dataset(sc.dataset, scale=sc.dataset_scale,
+                              seed=sc.seed)
+        res = run_system(
+            system, dataset, sc.train_config(),
+            epochs=epochs if epochs is not None else sc.epochs,
+            warmup_epochs=0,
+            num_workers=num_workers,
+            machine_spec=sc.machine_spec(host_gb=host_gb, channels=channels,
+                                         num_gpus=max(1, num_workers)),
+            fault_plan=plan,
+            keep_machine=True)
+        san = res.machine.sanitizer if res.machine is not None else None
+        return SystemRun(
+            system=system,
+            status=res.status,
+            stats=list(res.stats),
+            digest=san.trace_digest() if san is not None else "",
+            trace=list(san.trace) if san is not None else None,
+            findings=[f.render() for f in san.findings] if san else [],
+            error=res.error)
+
+
+#: The default oracle matrix: an uncontended scenario (everything fits,
+#: relationships degenerate but must still hold as equalities) and a
+#: contended one (the feature working set overflows the page cache —
+#: where the paper's I/O-volume ordering actually bites).
+DEFAULT_MATRIX = (
+    Scenario(name="tiny-default", dataset="tiny", host_gb=32.0, epochs=2),
+    Scenario(name="contended", dataset="papers100m-mini",
+             dataset_scale=0.15, host_gb=16.0, epochs=2, batch_size=10),
+)

@@ -47,6 +47,19 @@ class SSDDevice:
         self.requests = 0
         self.write_requests = 0
         self.busy_time = 0.0
+        #: Read bytes by caller-supplied tag (usually the file name).
+        #: Physical traffic: retried requests count every attempt.
+        self.bytes_read_by_tag: dict = {}
+
+    def account_read(self, tag: Optional[str], nbytes: int) -> None:
+        """Attribute *nbytes* of read traffic to *tag* (no-op for None)."""
+        if tag is not None:
+            self.bytes_read_by_tag[tag] = (
+                self.bytes_read_by_tag.get(tag, 0) + int(nbytes))
+
+    def read_bytes_for(self, tag: str) -> int:
+        """Total read bytes attributed to *tag* so far."""
+        return self.bytes_read_by_tag.get(tag, 0)
 
     # ------------------------------------------------------------------
     # Timing primitives
@@ -64,6 +77,7 @@ class SSDDevice:
         io_depth: Optional[int] = None,
         start_times: Optional[np.ndarray] = None,
         write: bool = False,
+        tag: Optional[str] = None,
     ) -> np.ndarray:
         """Submit *sizes* requests in order; return completion times.
 
@@ -83,6 +97,9 @@ class SSDDevice:
         write:
             Account the bytes as writes (Ginex's sampling-result spill);
             service timing is symmetric on the modelled SATA device.
+        tag:
+            Attribute read bytes to this name in ``bytes_read_by_tag``
+            (pure data-plane accounting; never affects timing).
 
         Returns
         -------
@@ -136,6 +153,7 @@ class SSDDevice:
         else:
             self.bytes_read += int(sizes.sum())
             self.requests += n
+            self.account_read(tag, int(sizes.sum()))
         return done
 
     # ------------------------------------------------------------------
@@ -162,7 +180,8 @@ class SSDDevice:
         re-draw at the deferred resubmission times.
         """
         done = self.submit_batch(sizes, io_depth=io_depth,
-                                 start_times=start_times, write=write)
+                                 start_times=start_times, write=write,
+                                 tag=handle_name)
         fail = None
         if self.faults is not None and not write and len(done):
             fail = self.faults.draw_read_errors(
@@ -229,14 +248,15 @@ class SSDDevice:
     # ------------------------------------------------------------------
     # Event helpers
     # ------------------------------------------------------------------
-    def read_event(self, nbytes: int) -> Timeout:
+    def read_event(self, nbytes: int, tag: Optional[str] = None) -> Timeout:
         """One read as a waitable event (for sync pread paths)."""
         if self.faults is not None:
             done_arr, _ = self.submit_reliable(np.asarray([nbytes]),
-                                               io_depth=1)
+                                               io_depth=1, handle_name=tag)
             done = float(done_arr[0])
         else:
-            done = self.submit(nbytes)
+            done = float(self.submit_batch(np.asarray([nbytes]),
+                                           tag=tag)[0])
         return self.sim.timeout(max(0.0, done - self.sim.now), value=done)
 
     def write_event(self, nbytes: int) -> Timeout:
@@ -245,12 +265,14 @@ class SSDDevice:
         return self.sim.timeout(max(0.0, done - self.sim.now), value=done)
 
     def batch_event(self, sizes: np.ndarray,
-                    io_depth: Optional[int] = None) -> Timeout:
+                    io_depth: Optional[int] = None,
+                    tag: Optional[str] = None) -> Timeout:
         """All-complete event for a batch; value is per-request times."""
         if self.faults is not None:
-            done, _ = self.submit_reliable(sizes, io_depth=io_depth)
+            done, _ = self.submit_reliable(sizes, io_depth=io_depth,
+                                           handle_name=tag)
         else:
-            done = self.submit_batch(sizes, io_depth=io_depth)
+            done = self.submit_batch(sizes, io_depth=io_depth, tag=tag)
         last = float(done.max()) if len(done) else self.sim.now
         return self.sim.timeout(max(0.0, last - self.sim.now), value=done)
 

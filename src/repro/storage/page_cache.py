@@ -99,6 +99,10 @@ class PageCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Per-file hit/miss tallies keyed by handle name — pure
+        #: accounting for the oracle harness (never affects timing).
+        self.hits_by_tag: Dict[str, int] = {}
+        self.misses_by_tag: Dict[str, int] = {}
         #: Pages whose device reads exhausted their retry budget in the
         #: most recent :meth:`access` (empty without an active fault
         #: plan).  Callers re-fault them via the sampling retry helpers.
@@ -116,6 +120,23 @@ class PageCache:
 
     def resident_bytes(self) -> int:
         return len(self._lru) * self.page_size
+
+    def hits_for(self, name: str) -> int:
+        """Cumulative page hits charged to file *name*."""
+        return self.hits_by_tag.get(name, 0)
+
+    def misses_for(self, name: str) -> int:
+        """Cumulative page misses charged to file *name*."""
+        return self.misses_by_tag.get(name, 0)
+
+    def _account(self, name: str, n_hits: int, n_misses: int) -> None:
+        self.hits += n_hits
+        self.misses += n_misses
+        if n_hits:
+            self.hits_by_tag[name] = self.hits_by_tag.get(name, 0) + n_hits
+        if n_misses:
+            self.misses_by_tag[name] = (
+                self.misses_by_tag.get(name, 0) + n_misses)
 
     def contains(self, name: str, page: int) -> bool:
         state = self._files.get(name)
@@ -325,14 +346,14 @@ class PageCache:
         self._lru.touch(self._keys_for(
             state, np.concatenate([hit_pages, miss_pages])))
         state.resident[miss_pages] = True
-        self.hits += len(hit_pages)
-        self.misses += len(miss_pages)
+        self._account(handle.name, len(hit_pages), len(miss_pages))
         self.shrink_to_budget()
 
         copy_time = len(pages) * self.page_size / DRAM_COPY_BANDWIDTH
         if len(miss_pages):
             sizes = np.full(len(miss_pages), self.page_size, dtype=np.int64)
-            done = self.device.submit_batch(sizes, io_depth=self.fault_depth)
+            done = self.device.submit_batch(sizes, io_depth=self.fault_depth,
+                                            tag=handle.name)
             ready = float(done.max()) + copy_time
         else:
             ready = self.sim.now + copy_time
@@ -356,8 +377,7 @@ class PageCache:
         self._lru.touch(self._keys_for(
             state, np.concatenate([hit_pages, ok_pages])))
         state.resident[ok_pages] = True
-        self.hits += len(hit_pages)
-        self.misses += len(miss_pages)
+        self._account(handle.name, len(hit_pages), len(miss_pages))
         self.shrink_to_budget()
 
         copy_time = len(pages) * self.page_size / DRAM_COPY_BANDWIDTH

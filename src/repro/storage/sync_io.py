@@ -51,7 +51,7 @@ class SyncFile:
         self.handle.check_range(offset, nbytes)
         if self.direct:
             check_aligned(offset, nbytes)
-        return self.device.read_event(nbytes)
+        return self.device.read_event(nbytes, tag=self.handle.name)
 
     def read_records(self, record_ids: np.ndarray,
                      io_size: Optional[int] = None):
@@ -97,7 +97,8 @@ class SyncFile:
                 # records that exhausted their retry budget.
                 rows[dropped] = 0
             return ev, rows
-        done = self.device.submit_batch(sizes, io_depth=1)
+        done = self.device.submit_batch(sizes, io_depth=1,
+                                        tag=self.handle.name)
         ev = self.sim.timeout(max(0.0, float(done[-1]) - self.sim.now),
                               value=done)
         return ev, self._slice(record_ids)

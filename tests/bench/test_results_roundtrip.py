@@ -1,0 +1,88 @@
+"""EpochStats (with fault ledger) survive the JSON artifact round-trip.
+
+An experiment artifact is only useful if a saved run can be reloaded
+and re-rendered without re-running the simulator; EpochStats carries
+nested dataclasses (StageBreakdown), NaN accuracies, numpy scalars and
+the per-epoch ``faults`` ledger — every one of which has a JSON trap.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import format_table
+from repro.bench.results_io import load_result, result_to_dict, save_result
+from repro.core.stats import EpochStats, StageBreakdown
+
+
+def _stats() -> EpochStats:
+    stages = StageBreakdown(sample=0.25, extract=0.5, train=0.125,
+                            release=0.0625)
+    s = EpochStats(epoch=1, epoch_time=np.float64(1.5), stages=stages,
+                   loss=0.75, train_acc=0.5, val_acc=float("nan"),
+                   num_batches=np.int64(12), bytes_read=4096,
+                   cache_hits=10, cache_misses=2, reused_nodes=3,
+                   loaded_nodes=9,
+                   faults={"injected": 4, "recovered": np.int64(4)})
+    s.extra["feat_bytes_read"] = np.int64(2048)
+    return s
+
+
+def test_epoch_stats_round_trip(tmp_path):
+    result = ExperimentResult(
+        name="rt", title="round trip",
+        tables=[format_table(["epoch", "time"], [[1, 1.5]], "t")],
+        notes=["synthetic"],
+        data={"stats": [_stats()], ("gnndrive-gpu", 32): 1.5})
+    path = str(tmp_path / "artifact.json")
+    save_result(result, path)
+    doc = load_result(path)
+
+    assert doc["name"] == "rt" and doc["notes"] == ["synthetic"]
+    loaded = doc["data"]["stats"][0]
+    assert loaded["epoch"] == 1
+    assert loaded["epoch_time"] == pytest.approx(1.5)
+    assert loaded["stages"]["sample"] == pytest.approx(0.25)
+    assert loaded["num_batches"] == 12
+    # NaN is not valid JSON; it must come back as a tagged string.
+    assert loaded["val_acc"] == "nan"
+    assert loaded["faults"] == {"injected": 4, "recovered": 4}
+    assert loaded["extra"]["feat_bytes_read"] == 2048
+    # Tuple keys flatten to readable strings.
+    assert doc["data"]["gnndrive-gpu | 32"] == pytest.approx(1.5)
+
+
+def test_loaded_artifact_renders(tmp_path):
+    """A reloaded artifact still renders a readable report."""
+    result = ExperimentResult(
+        name="rt2", title="render after load",
+        tables=[format_table(["system", "epoch (s)"],
+                             [["gnndrive-gpu", 1.5]], "cmp")],
+        data={"stats": [_stats()]})
+    path = str(tmp_path / "artifact.json")
+    save_result(result, path)
+    doc = load_result(path)
+    rendered = ExperimentResult(
+        name=doc["name"], title=doc["title"], tables=doc["tables"],
+        notes=doc["notes"], data=doc["data"]).render()
+    assert "rt2" in rendered
+    assert "gnndrive-gpu" in rendered
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = str(tmp_path / "junk.json")
+    with open(path, "w") as fh:
+        fh.write('{"name": "x"}')
+    with pytest.raises(ValueError, match="missing"):
+        load_result(path)
+
+
+def test_jsonable_handles_nan_and_inf():
+    from repro.bench.results_io import _jsonable
+    assert _jsonable(float("nan")) == "nan"
+    assert _jsonable(float("inf")) == "inf"
+    assert math.isclose(_jsonable(np.float32(0.5)), 0.5)
+    assert _jsonable(np.arange(3)) == [0, 1, 2]
+    assert _jsonable({("a", 1): {2: 3}}) == {"a | 1": {"2": 3}}

@@ -1,0 +1,43 @@
+"""Hypothesis strategies over the oracle scenario space.
+
+Mirrors the value pools of :mod:`repro.oracle.sampling` exactly, so the
+property tests and the ``python -m repro.bench oracle --fuzz`` sampler
+explore the same space — a hypothesis-shrunk counterexample is always a
+scenario the bench could have drawn, and belongs in
+``tests/oracle/corpus/`` verbatim.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.oracle.sampling import (BATCH_SIZES, CHANNELS, DATASET_SCALES,
+                                   DATASETS, EPOCHS, FAULT_PLANS, HOST_GB,
+                                   MODEL_KINDS, SSDS)
+from repro.oracle.scenario import Scenario
+
+
+@st.composite
+def scenarios(draw, fault_plans=tuple(set(FAULT_PLANS)),
+              datasets=DATASETS, max_epochs=max(EPOCHS)) -> Scenario:
+    """One valid :class:`Scenario` drawn from the bench sampler's pools.
+
+    *fault_plans*/*datasets*/*max_epochs* let fast tests restrict to
+    the cheap corner (e.g. ``datasets=("tiny",)``) without changing any
+    per-dimension pool values.
+    """
+    dataset = draw(st.sampled_from(datasets))
+    return Scenario(
+        name="hyp",
+        dataset=dataset,
+        dataset_scale=draw(st.sampled_from(DATASET_SCALES[dataset])),
+        host_gb=draw(st.sampled_from(HOST_GB)),
+        epochs=draw(st.sampled_from(
+            tuple(e for e in EPOCHS if e <= max_epochs))),
+        batch_size=draw(st.sampled_from(BATCH_SIZES)),
+        model_kind=draw(st.sampled_from(MODEL_KINDS)),
+        ssd=draw(st.sampled_from(SSDS)),
+        ssd_channels=draw(st.sampled_from(CHANNELS)),
+        fault_plan=draw(st.sampled_from(fault_plans)),
+        seed=draw(st.integers(min_value=0, max_value=3)),
+    )

@@ -1,0 +1,65 @@
+"""Scenario plumbing: validation, serialisation, deterministic sampling."""
+
+import pytest
+
+from repro.oracle import Scenario, sample_scenarios
+from repro.oracle.scenario import ScenarioRunner
+
+
+def test_round_trips_through_dict():
+    sc = Scenario(name="rt", dataset="tiny", host_gb=8.0, epochs=1,
+                  ssd="S3510", ssd_channels=2, fault_plan="chaos", seed=3)
+    assert Scenario.from_dict(sc.to_dict()) == sc
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"ssd": "nvme-9000"},
+    {"fault_plan": "partial"},
+    {"epochs": 0},
+    {"batch_size": 0},
+    {"host_gb": 0.0},
+    {"dataset_scale": 0.0},
+    {"dataset_scale": 1.5},
+    {"ssd_channels": 0},
+])
+def test_rejects_invalid_knobs(kwargs):
+    with pytest.raises(ValueError):
+        Scenario(name="bad", **kwargs)
+
+
+def test_ssd_channels_override():
+    sc = Scenario(name="ch", ssd="PM883", ssd_channels=2)
+    assert sc.ssd_spec().channels == 2
+    assert sc.ssd_spec(channels=16).channels == 16
+    assert Scenario(name="d", ssd="PM883").ssd_spec().channels == 8
+
+
+def test_sampling_is_deterministic_and_valid():
+    a = sample_scenarios(20, seed=5)
+    b = sample_scenarios(20, seed=5)
+    assert a == b
+    assert len({sc.name for sc in a}) == 20
+    assert a != sample_scenarios(20, seed=6)
+
+
+def test_sampling_rejects_empty():
+    with pytest.raises(ValueError):
+        sample_scenarios(0)
+
+
+def test_runner_memoises_identical_runs():
+    runner = ScenarioRunner(Scenario(name="memo", dataset="tiny",
+                                     epochs=1))
+    first = runner.run("gnndrive-gpu")
+    again = runner.run("gnndrive-gpu")
+    assert first is again
+    perturbed = runner.run("gnndrive-gpu", host_gb=64.0)
+    assert perturbed is not first
+
+
+def test_runner_runs_are_sanitized_and_traced():
+    runner = ScenarioRunner(Scenario(name="tr", dataset="tiny", epochs=1))
+    run = runner.run("gnndrive-gpu")
+    assert run.ok and run.clean
+    assert run.digest and len(run.digest) == 64
+    assert run.trace, "sanitize_trace must retain the event tuples"
