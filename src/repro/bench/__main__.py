@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.bench determinism [-o BENCH_determinism.json]
     python -m repro.bench faults [-o BENCH_faults.json] [--plan plan.json]
     python -m repro.bench oracle [-o BENCH_oracle.json] [--fuzz N] [--regen]
+    python -m repro.bench serve [-o BENCH_serve.json] [--smoke]
 
 ``hotpath`` runs the data-plane microbenchmarks (vectorized vs. seed
 reference implementations); ``determinism`` replays every system twice
@@ -15,7 +16,10 @@ under a deterministic fault plan and checks the recovery runtime
 survives it (see :mod:`repro.bench.faults`); ``oracle`` checks the
 differential/metamorphic oracle catalogue over the scenario matrix,
 the pinned golden traces, and a seeded scenario fuzz (see
-:mod:`repro.bench.oracle`).  All write a JSON artifact and exit
+:mod:`repro.bench.oracle`); ``serve`` sweeps offered load over the two
+inference-serving backends and checks the async backend's saturation
+advantage plus the SLO-accounting invariants (see
+:mod:`repro.bench.serve`).  All write a JSON artifact and exit
 non-zero on failure.
 """
 
@@ -80,6 +84,19 @@ def main(argv=None) -> int:
                      help="rewrite tests/golden/ instead of checking")
     orc.add_argument("--quiet", action="store_true",
                      help="suppress the per-scenario lines")
+    srv = sub.add_parser(
+        "serve",
+        help="offered-load sweep over the serving backends (writes "
+             "BENCH_serve.json)")
+    srv.add_argument("-o", "--output", default="BENCH_serve.json",
+                     help="output JSON path (default: %(default)s)")
+    srv.add_argument("--smoke", action="store_true",
+                     help="tiny CI sweep: accounting + determinism "
+                          "gates only, no 2x saturation requirement")
+    srv.add_argument("--rates", nargs="+", type=float, default=None,
+                     help="offered-load grid override (requests/second)")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress the per-point lines")
     args = parser.parse_args(argv)
 
     if args.command == "hotpath":
@@ -110,6 +127,12 @@ def main(argv=None) -> int:
         artifact = run_oracle(fuzz=args.fuzz, fuzz_seed=args.fuzz_seed,
                               golden=not args.no_golden,
                               output=args.output, verbose=not args.quiet)
+        return 0 if artifact["ok"] else 1
+    if args.command == "serve":
+        from repro.bench.serve import run_serve_bench
+        artifact = run_serve_bench(output=args.output, smoke=args.smoke,
+                                   rates=args.rates,
+                                   verbose=not args.quiet)
         return 0 if artifact["ok"] else 1
     return 2
 

@@ -1,9 +1,16 @@
-"""Plain-text table/series rendering for reproduced figures."""
+"""Plain-text and markdown rendering for reproduced figures.
+
+The ASCII helpers feed the CLI printers; the markdown helpers produce
+committable report files.  Markdown reports always include the fault
+ledger recorded in ``EpochStats.faults`` / ``ServeStats.faults`` as a
+per-system table — a chaos run whose report hides its injected-fault
+counters is indistinguishable from a clean run.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, List, Sequence, Union
 
 
 def fmt_value(v, digits: int = 3) -> str:
@@ -64,3 +71,90 @@ def format_ratio_note(measured: float, paper: float, what: str) -> str:
     """'measured X vs paper Y' one-liner for EXPERIMENTS.md parity."""
     return (f"  {what}: measured {fmt_value(measured)}x "
             f"(paper reports {fmt_value(paper)}x)")
+
+
+# ----------------------------------------------------------------------
+# Markdown rendering
+# ----------------------------------------------------------------------
+
+#: A stats record is either a live dataclass (EpochStats / ServeStats)
+#: or its :mod:`repro.bench.results_io` round-trip (a plain dict).
+StatsLike = Union[Dict, object]
+
+
+def _stats_field(stats: StatsLike, name: str, default=None):
+    if isinstance(stats, dict):
+        return stats.get(name, default)
+    return getattr(stats, name, default)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence]) -> str:
+    """GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt_value(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def aggregate_fault_ledgers(
+        per_system: Dict[str, Sequence[StatsLike]]) -> Dict[str, Dict]:
+    """Sum each system's per-epoch/per-run ``faults`` dicts."""
+    totals: Dict[str, Dict] = {}
+    for system, stats_list in per_system.items():
+        agg: Dict[str, float] = {}
+        for s in stats_list:
+            for key, val in (_stats_field(s, "faults") or {}).items():
+                agg[key] = agg.get(key, 0) + val
+        totals[system] = agg
+    return totals
+
+
+def format_fault_ledger_markdown(
+        per_system: Dict[str, Sequence[StatsLike]]) -> str:
+    """Per-system fault-ledger table (one column per counter).
+
+    Accepts live stats dataclasses or their ``results_io`` dict form.
+    Systems that recorded no faults still appear (all zeros) so a
+    report over a mixed clean/chaos comparison stays aligned.
+    """
+    totals = aggregate_fault_ledgers(per_system)
+    keys = sorted({k for agg in totals.values() for k in agg})
+    if not keys:
+        return "_No faults recorded._"
+    rows = [[system] + [totals[system].get(k, 0) for k in keys]
+            for system in totals]
+    return format_markdown_table(["system"] + list(keys), rows)
+
+
+def markdown_report(title: str,
+                    per_system: Dict[str, Sequence[StatsLike]]) -> str:
+    """Full markdown report: per-epoch table + the fault ledger."""
+    rows: List[List] = []
+    for system, stats_list in per_system.items():
+        for s in stats_list:
+            rows.append([
+                system,
+                _stats_field(s, "epoch", 0),
+                _stats_field(s, "epoch_time", float("nan")),
+                _stats_field(s, "loss", float("nan")),
+                _stats_field(s, "bytes_read", 0),
+                _stats_field(s, "cache_hits", 0),
+                _stats_field(s, "cache_misses", 0),
+            ])
+    sections = [
+        f"# {title}",
+        "",
+        "## Per-epoch results",
+        "",
+        format_markdown_table(
+            ["system", "epoch", "time (s)", "loss", "bytes read",
+             "cache hits", "cache misses"], rows),
+        "",
+        "## Fault ledger",
+        "",
+        format_fault_ledger_markdown(per_system),
+        "",
+    ]
+    return "\n".join(sections)

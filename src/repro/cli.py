@@ -16,6 +16,12 @@ Commands
     The correctness-oracle harness: scenario matrix, pinned golden
     traces (``--regen`` to re-pin), optional scenario fuzz.  Exits
     non-zero on any violation.
+``serve``
+    Online inference serving on the simulated disk stack: run one
+    serving scenario and print latency/goodput stats.
+``bench``
+    Pass-through to ``python -m repro.bench`` (hotpath, determinism,
+    faults, oracle, serve).
 ``lint``
     The determinism linter over the source tree (also available as
     ``python -m repro.lint``).
@@ -119,6 +125,14 @@ def cmd_run(args) -> int:
             print("  (no faults fired)")
         for key, val in nonzero.items():
             print(f"  {key:<18} {val}")
+    if args.markdown:
+        from repro.bench.report import markdown_report
+        text = markdown_report(
+            f"{args.system} on {ds.name} ({args.model})",
+            {args.system: res.stats})
+        with open(args.markdown, "w") as fh:
+            fh.write(text)
+        print(f"\nmarkdown report written to {args.markdown}")
     return 0
 
 
@@ -182,6 +196,66 @@ def cmd_oracle(args) -> int:
     return 0 if artifact["ok"] else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import ServeScenario, run_serve_scenario
+
+    scenario = ServeScenario(
+        name="cli-serve", dataset=args.dataset, dataset_scale=args.scale,
+        host_gb=args.host_gb, backend=args.backend, kind=args.kind,
+        rate=args.rate, num_requests=args.requests,
+        seeds_per_request=args.seeds_per_request, slo=args.slo,
+        max_batch_size=args.max_batch_size, max_wait=args.max_wait,
+        num_replicas=args.replicas, model_kind=args.model,
+        fault_plan="chaos" if args.chaos else "none", seed=args.seed)
+    run = run_serve_scenario(scenario)
+    if not run.ok:
+        print(f"serve: {run.status} ({run.error})")
+        return 1
+    s = run.stats
+    print(format_table(
+        ["metric", "value"],
+        [["backend", s.backend],
+         ["offered", s.offered],
+         ["completed", s.completed],
+         ["shed", s.shed],
+         ["timed out", s.timed_out],
+         ["SLO misses", s.slo_miss],
+         ["SLO attainment", s.slo_attainment],
+         ["throughput (req/s)", s.throughput],
+         ["goodput (req/s)", s.goodput],
+         ["p50 latency (ms)", s.latency_p50 * 1e3],
+         ["p95 latency (ms)", s.latency_p95 * 1e3],
+         ["p99 latency (ms)", s.latency_p99 * 1e3],
+         ["batches", s.num_batches],
+         ["mean batch size", s.mean_batch_size],
+         ["bytes read", s.bytes_read],
+         ["reused nodes", s.reused_nodes],
+         ["loaded nodes", s.loaded_nodes]],
+        f"{scenario.backend} serving on {args.dataset} "
+        f"@ {args.rate:g} req/s (SLO {args.slo * 1e3:g} ms)"))
+    nonzero = {k: v for k, v in s.faults.items() if v}
+    if nonzero:
+        print("\nfault ledger:")
+        for key, val in nonzero.items():
+            print(f"  {key:<18} {val}")
+    rc = 0
+    for finding in run.findings:
+        print(f"sanitizer finding: {finding}")
+        rc = 1
+    try:
+        s.check_accounting()
+    except ValueError as exc:
+        print(f"accounting violation: {exc}")
+        rc = 1
+    return rc
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.linter import main as lint_main
 
@@ -192,14 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
         description="GNNDrive reproduction (ICPP 2024) command-line tools")
-    sub = ap.add_subparsers(dest="command", required=True)
+    sub = ap.add_subparsers(dest="command", required=True,
+                            metavar="COMMAND")
 
-    p = sub.add_parser("datasets", help="list the dataset registry")
+    p = sub.add_parser(
+        "datasets", help="list the dataset registry",
+        description="List the registry (Table 1 mini datasets) with "
+                    "node/edge counts and on-disk footprints.")
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--all", action="store_true", help="include 'tiny'")
     p.set_defaults(fn=cmd_datasets)
 
-    p = sub.add_parser("run", help="train one system")
+    p = sub.add_parser(
+        "run", help="train one system and print per-epoch stats",
+        description="Train one system on one dataset and print "
+                    "per-epoch time/loss/stage breakdowns; optionally "
+                    "under fault injection or the strict sanitizer.")
     p.add_argument("system", choices=["gnndrive-gpu", "gnndrive-cpu",
                                       "pyg+", "ginex", "mariusgnn",
                                       "in-memory"])
@@ -212,14 +294,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="attach the strict runtime sanitizer; any "
                         "finding makes the command exit non-zero")
+    p.add_argument("--markdown", default=None, metavar="REPORT.md",
+                   help="write a markdown report (per-epoch table plus "
+                        "the fault ledger) to this path")
     p.set_defaults(fn=cmd_run)
 
-    p = sub.add_parser("compare", help="compare systems on one workload")
+    p = sub.add_parser(
+        "compare", help="compare systems on one workload",
+        description="Run several systems on the same workload and "
+                    "print the epoch-time comparison table.")
     _add_workload_args(p)
     p.add_argument("--systems", nargs="+", default=None)
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p = sub.add_parser(
+        "experiment", help="regenerate a paper artifact",
+        description="Regenerate one paper artifact "
+                    "(fig2..fig14, tab1, tab2, figB1).")
     p.add_argument("name", help="fig2|fig3|tab1|fig8|...|tab2|figB1")
     p.add_argument("--full", action="store_true",
                    help="full profile (registry-scale minis)")
@@ -227,12 +318,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the result as a JSON artifact")
     p.set_defaults(fn=cmd_experiment)
 
-    p = sub.add_parser("fio", help="Appendix-B storage microbenchmark")
+    p = sub.add_parser(
+        "fio", help="Appendix-B storage microbenchmark",
+        description="Run the Appendix-B storage microbenchmark "
+                    "(sync/libaio/io_uring at several I/O depths).")
     p.set_defaults(fn=cmd_fio)
 
     p = sub.add_parser(
         "oracle",
-        help="correctness oracles: scenario matrix, golden traces, fuzz")
+        help="correctness oracles: scenario matrix, golden traces, fuzz",
+        description="Run the correctness-oracle harness: the scenario "
+                    "matrix, the pinned golden traces (--regen to "
+                    "re-pin), and an optional scenario fuzz.  Exits "
+                    "non-zero on any violation.")
     p.add_argument("--regen", action="store_true",
                    help="rewrite tests/golden/ from the pinned scenario "
                         "instead of checking")
@@ -245,7 +343,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_oracle)
 
     p = sub.add_parser(
-        "lint", help="determinism linter (DET101-DET107) over the tree")
+        "serve", help="online GNN inference serving on the disk stack",
+        description="Run one online-inference serving scenario "
+                    "(open-loop Poisson or closed-loop clients, "
+                    "micro-batching, admission control) and print "
+                    "latency/goodput/SLO stats.  Exits non-zero on "
+                    "sanitizer findings or accounting violations.")
+    p.add_argument("--dataset", default="tiny")
+    p.add_argument("--model", default="sage",
+                   choices=["sage", "gcn", "gat"])
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="dataset scale relative to the registry minis")
+    p.add_argument("--host-gb", type=float, default=32,
+                   help="paper-scale host memory (scaled automatically)")
+    p.add_argument("--backend", default="async",
+                   choices=["async", "sync"],
+                   help="feature-extraction backend (default: async)")
+    p.add_argument("--kind", default="poisson",
+                   choices=["poisson", "closed"],
+                   help="workload: open-loop Poisson or closed-loop "
+                        "clients (default: poisson)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="offered load, requests/second (default: 200)")
+    p.add_argument("--requests", type=int, default=60,
+                   help="number of requests (default: 60)")
+    p.add_argument("--seeds-per-request", type=int, default=1)
+    p.add_argument("--slo", type=float, default=0.05,
+                   help="latency SLO in seconds (default: 0.05)")
+    p.add_argument("--max-batch-size", type=int, default=8,
+                   help="micro-batcher size cap (default: 8)")
+    p.add_argument("--max-wait", type=float, default=1e-3,
+                   help="micro-batcher wait cap in seconds "
+                        "(default: 1 ms)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="model replicas, one per GPU (default: 1)")
+    p.add_argument("--chaos", action="store_true",
+                   help="run under the built-in chaos fault plan")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "bench", help="benchmark suites (python -m repro.bench ...)",
+        description="Pass-through to the benchmark entry points: "
+                    "hotpath, determinism, faults, oracle, serve.")
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to python -m repro.bench")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "lint", help="determinism linter (DET101-DET107) over the tree",
+        description="Run the determinism linter (DET101-DET107) over "
+                    "the source tree; also available as "
+                    "python -m repro.lint.")
     p.add_argument("lint_args", nargs=argparse.REMAINDER,
                    help="arguments forwarded to the linter "
                         "(paths, --format, --select, ...)")

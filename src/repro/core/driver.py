@@ -37,6 +37,8 @@ from repro.core.sampling_io import topo_access_with_retry
 from repro.core.staging import StagingBuffer
 from repro.core.stats import EpochStats, StageBreakdown
 from repro.errors import OutOfMemoryError
+from repro.faults.recovery import (recover_failed_reads,
+                                   reserve_staging_with_backoff)
 from repro.graph.datasets import DiskDataset
 from repro.machine import Machine
 from repro.models.train import forward_backward
@@ -391,86 +393,20 @@ class GNNDrive(TrainingSystem):
     # Recovery plane (fault plans only; never entered without one)
     # ------------------------------------------------------------------
     def _reserve_staging(self, n: int) -> Generator:
-        """Staging reservation with bounded backoff under fault plans.
-
-        Without a plan (or once the budget is exhausted) the
-        :class:`~repro.errors.OutOfMemoryError` propagates unchanged.
-        """
-        m = self.machine
-        inj = m.faults
-        attempt = 0
-        while True:
-            try:
-                self.staging.reserve(n, self.staging_portion)
-                return
-            except OutOfMemoryError:
-                if inj is None or attempt >= inj.retry_policy.max_retries:
-                    raise
-                delay = inj.retry_policy.delay(attempt)
-                attempt += 1
-                inj.ledger.staging_retries += 1
-                inj.ledger.backoff_time += delay
-                yield m.sim.timeout(delay)
+        """Staging reservation with bounded backoff (shared helper)."""
+        result = yield from reserve_staging_with_backoff(
+            self.machine, self.staging, n, self.staging_portion)
+        return result
 
     def _recover_failed_reads(self, ring: AsyncRing, handle, ssd_nodes,
                               t_load: np.ndarray, res: np.ndarray
                               ) -> Generator:
-        """Event-driven retry of ring reads whose CQEs came back failed.
-
-        The degradation ladder: bounded backoff + resubmission; after
-        two consecutive all-failing rounds the ring depth is halved
-        (sustained-failure hypothesis: a shallower ring sheds pressure);
-        when the retry budget runs out, one last synchronous pass at
-        depth 1; whatever still fails is dropped (the caller zero-fills
-        those rows).  Returns ``(completion_times, dropped_node_ids)``.
-        """
-        m = self.machine
-        inj = m.faults
-        policy = inj.retry_policy
-        ledger = inj.ledger
-        t_final = t_load.copy()
-        failed_idx = np.flatnonzero(res < 0)
-        initial = len(failed_idx)
-        fail_rounds = 0
-        attempt = 0
-        while len(failed_idx) and attempt < policy.max_retries:
-            delay = policy.delay(attempt)
-            ledger.retried += len(failed_idx)
-            ledger.backoff_time += delay
-            yield m.sim.timeout(delay)
-            ring.prepare_record_reads(handle, ssd_nodes[failed_idx],
-                                      io_size=self.io_size)
-            rt = ring.submit()
-            t_final[failed_idx] = rt
-            rres = ring.last_res
-            still = rres < 0 if rres is not None else None
-            if still is None or not still.any():
-                failed_idx = failed_idx[:0]
-                break
-            failed_idx = failed_idx[still]
-            fail_rounds += 1
-            if fail_rounds >= 2 and ring.depth > 1:
-                ring.depth = max(1, ring.depth // 2)
-                ledger.depth_halvings += 1
-                fail_rounds = 0
-            attempt += 1
-        dropped_nodes = np.empty(0, dtype=np.int64)
-        if len(failed_idx):
-            # Sync fallback: one final depth-1 pass through the device's
-            # own retry machinery before giving a request up for good.
-            rec = self.dataset.features.record_nbytes
-            sizes = np.full(len(failed_idx), self.io_size, dtype=np.int64)
-            done, dropped = m.ssd.submit_reliable(
-                sizes, io_depth=1, handle_name=handle.name,
-                offsets=ssd_nodes[failed_idx] * rec)
-            ledger.sync_fallbacks += 1
-            t_final[failed_idx] = done
-            yield m.sim.timeout(max(0.0, float(done.max()) - m.sim.now))
-            dropped_nodes = ssd_nodes[failed_idx][dropped]
-            failed_idx = failed_idx[dropped]
-        ledger.recovered += initial - len(failed_idx)
-        ledger.dropped += len(failed_idx)
-        return t_final, dropped_nodes
+        """Ring-read recovery ladder (shared helper; see
+        :func:`repro.faults.recovery.recover_failed_reads`)."""
+        result = yield from recover_failed_reads(
+            self.machine, ring, handle, ssd_nodes, t_load, res,
+            self.io_size, self.dataset.features.record_nbytes)
+        return result
 
     def _adapt_feature_buffer(self) -> None:
         """Shed/restore cold feature-buffer capacity under injected

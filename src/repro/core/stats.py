@@ -64,6 +64,82 @@ class EpochStats:
         return self.reused_nodes / total if total else 0.0
 
 
+@dataclass
+class ServeStats:
+    """One serving run's outcome: latency tails, goodput, shed counters.
+
+    The accounting identity ``offered == completed + shed + timed_out``
+    is a hard invariant — :meth:`check_accounting` raises on violation
+    and the CI serve smoke job gates on it.  *Goodput* counts only
+    completed requests that met the SLO; *throughput* counts all
+    completions.  Latencies are arrival-to-completion seconds.
+    """
+
+    backend: str
+    offered: int
+    completed: int
+    shed: int
+    timed_out: int
+    slo: float
+    slo_miss: int
+    duration: float
+    offered_rate: float
+    latency_p50: float = float("nan")
+    latency_p95: float = float("nan")
+    latency_p99: float = float("nan")
+    latency_mean: float = float("nan")
+    latency_max: float = float("nan")
+    num_batches: int = 0
+    mean_batch_size: float = 0.0
+    bytes_read: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    reused_nodes: int = 0
+    loaded_nodes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+    #: Fault-ledger movement during the run (empty without a plan).
+    faults: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of serving time."""
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """SLO-meeting completions per second of serving time."""
+        if self.duration <= 0:
+            return 0.0
+        return (self.completed - self.slo_miss) / self.duration
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *offered* requests that completed within SLO
+        (shed and timed-out requests count against attainment)."""
+        if self.offered == 0:
+            return 1.0
+        return (self.completed - self.slo_miss) / self.offered
+
+    def check_accounting(self) -> None:
+        """Raise ``ValueError`` on any broken accounting invariant."""
+        if self.offered != self.completed + self.shed + self.timed_out:
+            raise ValueError(
+                f"serve accounting: offered={self.offered} != "
+                f"completed={self.completed} + shed={self.shed} + "
+                f"timed_out={self.timed_out}")
+        if self.slo_miss > self.completed:
+            raise ValueError(
+                f"serve accounting: slo_miss={self.slo_miss} exceeds "
+                f"completed={self.completed}")
+        if min(self.offered, self.completed, self.shed,
+               self.timed_out, self.slo_miss) < 0:
+            raise ValueError("serve accounting: negative counter")
+        if self.goodput > self.throughput + 1e-12:
+            raise ValueError(
+                f"serve accounting: goodput={self.goodput} exceeds "
+                f"throughput={self.throughput}")
+
+
 def mean_epoch_time(stats: List[EpochStats],
                     skip_first: bool = False) -> float:
     """Average epoch time (optionally skipping the cold first epoch)."""

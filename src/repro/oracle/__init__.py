@@ -27,6 +27,7 @@ Public surface::
 from repro.oracle.golden import (
     GOLDEN_DIR,
     GOLDEN_SCENARIO,
+    GOLDEN_SERVE_SCENARIO,
     GOLDEN_SYSTEMS,
     check_golden,
     golden_digests,
@@ -45,6 +46,7 @@ __all__ = [
     "DEFAULT_MATRIX",
     "GOLDEN_DIR",
     "GOLDEN_SCENARIO",
+    "GOLDEN_SERVE_SCENARIO",
     "GOLDEN_SYSTEMS",
     "ORACLES",
     "Scenario",

@@ -20,6 +20,7 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.oracle.scenario import Scenario, ScenarioRunner
+from repro.serve.scenario import ServeScenario, run_serve_scenario
 
 #: Repo-relative golden directory (resolved against this file's repo).
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
@@ -31,9 +32,16 @@ GOLDEN_DIR = os.path.join(_REPO_ROOT, "tests", "golden")
 GOLDEN_SCENARIO = Scenario(name="golden-tiny", dataset="tiny",
                            host_gb=32.0, epochs=2)
 
-#: Systems pinned (the five paper systems + the data-parallel wrapper).
+#: The pinned serving scenario (the "serve" golden entry): open-loop
+#: Poisson on the async backend, small enough for a committable trace.
+GOLDEN_SERVE_SCENARIO = ServeScenario(name="golden-serve", dataset="tiny",
+                                      rate=300.0, num_requests=24,
+                                      slo=0.05)
+
+#: Systems pinned: the five paper systems, the data-parallel wrapper,
+#: and the serving plane ("serve" replays GOLDEN_SERVE_SCENARIO).
 GOLDEN_SYSTEMS = ("gnndrive-gpu", "gnndrive-cpu", "multigpu", "pyg+",
-                  "ginex", "mariusgnn")
+                  "ginex", "mariusgnn", "serve")
 
 #: multigpu is pinned at two workers so the golden actually covers the
 #: data-parallel path (one worker is the single-GPU system bit-for-bit).
@@ -50,8 +58,13 @@ def _run_all(scenario: Scenario) -> Dict[str, object]:
     runner = ScenarioRunner(scenario)
     runs = {}
     for system in GOLDEN_SYSTEMS:
-        runs[system] = runner.run(
-            system, num_workers=_NUM_WORKERS.get(system, 1))
+        if system == "serve":
+            # ServeRun duck-types the SystemRun fields used here
+            # (.ok, .digest, .trace, .error).
+            runs[system] = run_serve_scenario(GOLDEN_SERVE_SCENARIO)
+        else:
+            runs[system] = runner.run(
+                system, num_workers=_NUM_WORKERS.get(system, 1))
     return runs
 
 
@@ -78,6 +91,7 @@ def regen_golden(golden_dir: str = GOLDEN_DIR) -> Dict[str, str]:
             f.write("\n".join(_trace_lines(run.trace)) + "\n")
     with open(os.path.join(golden_dir, "digests.json"), "w") as f:
         json.dump({"scenario": GOLDEN_SCENARIO.to_dict(),
+                   "serve_scenario": GOLDEN_SERVE_SCENARIO.to_dict(),
                    "digests": digests}, f, indent=2, sort_keys=True)
         f.write("\n")
     return digests

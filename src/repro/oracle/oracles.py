@@ -394,6 +394,58 @@ class EpochPrefixStable(Oracle):
         return out
 
 
+class ServeLoadP99Monotone(Oracle):
+    """Halving offered load never raises the serving p99 (async).
+
+    The serving-plane analogue of the resource-monotonicity laws: less
+    offered load means less queueing, so tail latency cannot rise.  Two
+    deliberate choices keep the law sound: ``max_wait = 0`` (a positive
+    straggler window legitimately *raises* low-load latency — the
+    batcher idles waiting for company), and a huge SLO so no request is
+    deadline-dropped (drops would censor the tail out of the sample).
+    """
+
+    name = "serve-load-p99-monotone"
+    kind = "metamorphic"
+    description = "async serving p99 non-increasing when load halves"
+    RATE = 400.0
+    NUM_REQUESTS = 40
+    #: Same scheduling-jitter argument as the time-monotone oracles:
+    #: different arrival timestamps reorder ring submissions and buffer
+    #: reuse, wobbling individual latencies without a real regression.
+    TOLERANCE = 0.05
+
+    def applicable(self, runner: ScenarioRunner) -> bool:
+        # Fault windows are wall-clock anchored; a different arrival
+        # pattern shifts work into/out of them (same gate as the other
+        # metamorphic laws).
+        return runner.scenario.fault_plan == "none"
+
+    def check(self, runner: ScenarioRunner) -> List[Violation]:
+        from repro.serve import ServeScenario, run_serve_scenario
+        sc = runner.scenario
+        base = ServeScenario(
+            name=f"{sc.name}-serve", dataset=sc.dataset,
+            dataset_scale=sc.dataset_scale, host_gb=sc.host_gb,
+            backend="async", kind="poisson", rate=self.RATE,
+            num_requests=self.NUM_REQUESTS, slo=10.0, max_wait=0.0,
+            model_kind=sc.model_kind, seed=sc.seed)
+        high = run_serve_scenario(base)
+        low = run_serve_scenario(base.with_(rate=self.RATE / 2))
+        if not (high.ok and low.ok):
+            return []
+        p_high = high.stats.latency_p99
+        p_low = low.stats.latency_p99
+        if np.isnan(p_high) or np.isnan(p_low):
+            return []
+        if p_low > p_high * (1 + self.TOLERANCE):
+            return [self._violation(
+                runner, f"p99 rose {p_high:.6g}s -> {p_low:.6g}s when "
+                        f"offered load halved ({self.RATE:g} -> "
+                        f"{self.RATE / 2:g} req/s)")]
+        return []
+
+
 class SanitizerClean(Oracle):
     """Every run of the scenario is sanitizer-clean (no findings)."""
 
@@ -424,6 +476,7 @@ ORACLES = (
     HostMemoryTimeMonotone(),
     SSDChannelsTimeMonotone(),
     EpochPrefixStable(),
+    ServeLoadP99Monotone(),
 )
 
 

@@ -1,0 +1,190 @@
+"""Admission queue and dynamic micro-batcher.
+
+Why not :class:`repro.simcore.Store`: a Store ``get()`` on an empty
+store registers a getter that consumes the *next* put even if the
+getter's process has moved on — racing a get against a timeout (exactly
+what a max-wait batcher must do) would silently swallow requests.  The
+:class:`AdmissionQueue` separates notification from transfer: waiters
+get a fired event, items only ever move through :meth:`try_pop`, so an
+abandoned wait loses nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.serve.workload import Request
+from repro.simcore import AnyOf
+from repro.simcore.engine import Event, Simulator
+
+
+class AdmissionQueue:
+    """Bounded FIFO with load shedding and arrival notification.
+
+    :meth:`offer` returns False (shed) when the queue is full; it never
+    blocks the injector — that is what makes the workload *open-loop*.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int,
+                 name: str = "admission"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._items: deque = deque()
+        self._waiters: List[Event] = []
+        self.closed = False
+        self.offered = 0
+        self.shed = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, req: Request) -> bool:
+        """Admit *req* or shed it; wakes all waiters on admit."""
+        if self.closed:
+            raise SimulationError(f"offer() on closed queue {self.name!r}")
+        self.offered += 1
+        if len(self._items) >= self.capacity:
+            self.shed += 1
+            return False
+        self._items.append(req)
+        self.peak_depth = max(self.peak_depth, len(self._items))
+        self._wake()
+        return True
+
+    def try_pop(self) -> Optional[Request]:
+        """Oldest queued request, or None (never blocks)."""
+        return self._items.popleft() if self._items else None
+
+    def arrival_event(self) -> Event:
+        """Event fired on the next offer (or close).
+
+        Notification only — no item is attached, and an abandoned event
+        costs nothing; every firing wakes *all* waiters, who race
+        through :meth:`try_pop` for the actual items.
+        """
+        ev = Event(self.sim)
+        if self._items or self.closed:
+            ev.succeed(len(self._items))
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def close(self) -> None:
+        """No further offers; wakes waiters so consumers can drain."""
+        self.closed = True
+        self._wake()
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(len(self._items))
+
+    def check_invariants(self) -> None:
+        if len(self._items) > self.capacity:
+            raise SimulationError(
+                f"queue {self.name!r} over capacity: "
+                f"{len(self._items)} > {self.capacity}")
+        if self.shed > self.offered:
+            raise SimulationError(
+                f"queue {self.name!r}: shed {self.shed} > offered "
+                f"{self.offered}")
+        if self._items and self._waiters:
+            raise SimulationError(
+                f"queue {self.name!r}: waiters present with items queued")
+
+
+@dataclass
+class Job:
+    """One sealed micro-batch: the unit of sampling + extraction."""
+
+    batch_id: int
+    requests: List[Request] = field(default_factory=list)
+    opened_at: float = 0.0
+    sealed_at: float = float("nan")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def wait(self) -> float:
+        return self.sealed_at - self.opened_at
+
+
+class MicroBatcher:
+    """Coalesces queued requests into jobs under two knobs.
+
+    Invariants (pinned by the property tests):
+
+    * ``len(job) <= max_batch_size``;
+    * ``job.sealed_at - job.opened_at <= max_wait`` exactly — the batch
+      opens when its first request is popped and a timeout bounds the
+      straggler wait (``max_wait = 0`` seals with whatever is queued).
+
+    *admit* filters each popped request (the server's deadline drop);
+    rejected requests never enter a job.  :meth:`run` is a process body:
+    it blocks on arrivals, seals jobs, and ``yield from``-delegates each
+    sealed job to *dispatch* — it returns once the queue is closed and
+    drained.
+    """
+
+    def __init__(self, sim: Simulator, queue: AdmissionQueue,
+                 max_batch_size: int, max_wait: float,
+                 dispatch: Callable[[Job], Generator],
+                 admit: Optional[Callable[[Request], bool]] = None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.sim = sim
+        self.queue = queue
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait)
+        self.dispatch = dispatch
+        self.admit = admit
+        self.jobs_sealed = 0
+
+    def _pop_admissible(self) -> Optional[Request]:
+        while True:
+            req = self.queue.try_pop()
+            if req is None or self.admit is None or self.admit(req):
+                return req
+
+    def run(self) -> Generator:
+        batch_id = 0
+        while True:
+            first = self._pop_admissible()
+            if first is None:
+                if self.queue.closed:
+                    return
+                yield self.queue.arrival_event()
+                continue
+            job = Job(batch_id, [first], opened_at=self.sim.now)
+            deadline = self.sim.now + self.max_wait
+            while len(job.requests) < self.max_batch_size:
+                nxt = self._pop_admissible()
+                if nxt is not None:
+                    job.requests.append(nxt)
+                    continue
+                if self.queue.closed:
+                    break
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    break
+                # Race the straggler window against the next arrival;
+                # the abandoned arm is harmless (notification-only).
+                yield AnyOf(self.sim, [self.queue.arrival_event(),
+                                       self.sim.timeout(remaining)])
+            job.sealed_at = self.sim.now
+            for req in job.requests:
+                req.batch_id = job.batch_id
+            batch_id += 1
+            self.jobs_sealed += 1
+            yield from self.dispatch(job)

@@ -1,0 +1,117 @@
+"""Configuration records for the serving plane.
+
+Both records are frozen and hashable so scenarios embedding them stay
+JSON round-trippable and memoisable, mirroring
+:class:`repro.core.base.TrainConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+_WORKLOAD_KINDS = ("poisson", "trace", "closed")
+_BACKENDS = ("async", "sync")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One deterministic arrival process.
+
+    * ``poisson`` — open-loop: exponential inter-arrivals at ``rate``
+      requests/second from the ``serve-arrivals`` stream.
+    * ``trace`` — open-loop: explicit ``arrivals`` timestamps.
+    * ``closed`` — ``num_clients`` clients, each issuing the next
+      request ``think_time`` seconds after its previous one resolves.
+    """
+
+    kind: str = "poisson"
+    rate: float = 100.0
+    num_requests: int = 100
+    seeds_per_request: int = 1
+    num_clients: int = 4
+    think_time: float = 1e-3
+    arrivals: Optional[Tuple[float, ...]] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in _WORKLOAD_KINDS:
+            raise ConfigError(f"unknown workload kind {self.kind!r}; "
+                              f"known: {_WORKLOAD_KINDS}")
+        if self.num_requests < 1:
+            raise ConfigError("num_requests must be >= 1")
+        if self.seeds_per_request < 1:
+            raise ConfigError("seeds_per_request must be >= 1")
+        if self.kind == "poisson" and not self.rate > 0:
+            raise ConfigError("poisson workload needs a positive rate")
+        if self.kind == "closed":
+            if self.num_clients < 1:
+                raise ConfigError("num_clients must be >= 1")
+            if self.think_time < 0:
+                raise ConfigError("think_time must be >= 0")
+        if self.kind == "trace":
+            if not self.arrivals:
+                raise ConfigError("trace workload needs arrivals")
+            if len(self.arrivals) != self.num_requests:
+                raise ConfigError(
+                    f"trace arrivals ({len(self.arrivals)}) must match "
+                    f"num_requests ({self.num_requests})")
+            if any(t < 0 for t in self.arrivals):
+                raise ConfigError("trace arrivals must be >= 0")
+            if any(b < a for a, b in zip(self.arrivals,
+                                         self.arrivals[1:])):
+                raise ConfigError("trace arrivals must be sorted")
+
+    def with_(self, **kw) -> "WorkloadSpec":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-plane knobs: queueing, batching, extraction backend."""
+
+    backend: str = "async"
+    num_replicas: int = 1
+    #: Admission-queue bound; offers beyond it are shed.
+    queue_capacity: int = 64
+    #: Latency SLO in seconds; doubles as the queue deadline (a request
+    #: that cannot start before ``arrival + slo`` is dropped).
+    slo: float = 0.05
+    max_batch_size: int = 8
+    #: Seconds the batcher holds an open batch for stragglers; 0 seals
+    #: immediately with whatever is queued (latency-optimal).
+    max_wait: float = 1e-3
+    io_depth: int = 64
+    direct_io: bool = True
+    #: Extra feature-buffer slots beyond one batch, as a fraction of the
+    #: batch footprint — the warm standby pool reused across requests.
+    standby_scale: float = 4.0
+    #: Safety margin on the probed max nodes per job (same role as
+    #: :class:`repro.core.config.GNNDriveConfig.batch_nodes_margin`).
+    batch_nodes_margin: float = 1.3
+
+    def __post_init__(self):
+        if self.backend not in _BACKENDS:
+            raise ConfigError(f"unknown serve backend {self.backend!r}; "
+                              f"known: {_BACKENDS}")
+        if self.num_replicas < 1:
+            raise ConfigError("num_replicas must be >= 1")
+        if self.queue_capacity < 1:
+            raise ConfigError("queue_capacity must be >= 1")
+        if not self.slo > 0:
+            raise ConfigError("slo must be positive")
+        if self.max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if self.max_wait < 0:
+            raise ConfigError("max_wait must be >= 0")
+        if self.io_depth < 1:
+            raise ConfigError("io_depth must be >= 1")
+        if self.standby_scale < 0:
+            raise ConfigError("standby_scale must be >= 0")
+        if self.batch_nodes_margin < 1.0:
+            raise ConfigError("batch_nodes_margin must be >= 1")
+
+    def with_(self, **kw) -> "ServeConfig":
+        return replace(self, **kw)

@@ -1,0 +1,155 @@
+"""Serve scenarios: JSON round-trippable serving configurations.
+
+The serving analogue of :mod:`repro.oracle.scenario`: one frozen record
+pins everything a serving run depends on, builds the machine/workload/
+server, and executes under the strict sanitizer with full tracing — so
+serve runs can be pinned in the golden corpus and checked by oracles
+exactly like training runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import TrainConfig
+from repro.errors import OutOfMemoryError, OutOfTimeError
+from repro.faults import EMPTY_PLAN, default_chaos_plan
+from repro.machine import DEFAULT_SCALE, Machine, MachineSpec
+from repro.serve.config import ServeConfig, WorkloadSpec
+
+_FAULT_PLANS = ("none", "empty", "chaos")
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """One point of the serving configuration space."""
+
+    name: str
+    dataset: str = "tiny"
+    dataset_scale: float = 1.0
+    host_gb: float = 32.0
+    backend: str = "async"
+    kind: str = "poisson"
+    rate: float = 200.0
+    num_requests: int = 60
+    seeds_per_request: int = 1
+    slo: float = 0.05
+    max_batch_size: int = 8
+    max_wait: float = 1e-3
+    num_replicas: int = 1
+    queue_capacity: int = 64
+    model_kind: str = "sage"
+    fault_plan: str = "none"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.fault_plan not in _FAULT_PLANS:
+            raise ValueError(f"unknown fault plan {self.fault_plan!r}; "
+                             f"known: {_FAULT_PLANS}")
+        if not 0 < self.dataset_scale <= 1.0:
+            raise ValueError("dataset_scale must be in (0, 1]")
+        if not self.host_gb > 0:
+            raise ValueError("host_gb must be positive")
+        # Workload/serve knobs are validated by the spec constructors.
+        self.workload_spec()
+        self.serve_config()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: Dict) -> "ServeScenario":
+        return ServeScenario(**d)
+
+    def with_(self, **kw) -> "ServeScenario":
+        return replace(self, **kw)
+
+    # ------------------------------------------------------------------
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(kind=self.kind, rate=self.rate,
+                            num_requests=self.num_requests,
+                            seeds_per_request=self.seeds_per_request,
+                            seed=self.seed)
+
+    def serve_config(self) -> ServeConfig:
+        return ServeConfig(backend=self.backend,
+                           num_replicas=self.num_replicas,
+                           queue_capacity=self.queue_capacity,
+                           slo=self.slo,
+                           max_batch_size=self.max_batch_size,
+                           max_wait=self.max_wait)
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(model_kind=self.model_kind, seed=self.seed)
+
+    def machine_spec(self) -> MachineSpec:
+        return MachineSpec.paper_scaled(
+            host_gb=self.host_gb,
+            scale=DEFAULT_SCALE * self.dataset_scale,
+            num_gpus=self.num_replicas,
+            sanitize=True, sanitize_trace=True,
+            faults=self.resolve_fault_plan())
+
+    def resolve_fault_plan(self):
+        if self.fault_plan == "empty":
+            return EMPTY_PLAN
+        if self.fault_plan == "chaos":
+            return default_chaos_plan()
+        return None
+
+
+@dataclass
+class ServeRun:
+    """One serving run executed under a scenario."""
+
+    scenario: ServeScenario
+    status: str                    # 'ok' | 'OOM' | 'OOT'
+    stats: Optional[object] = None  # ServeStats when ok
+    digest: str = ""
+    trace: Optional[List[Tuple]] = None
+    findings: List[str] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_serve_scenario(scenario: ServeScenario) -> ServeRun:
+    """Execute *scenario* sanitized with full tracing."""
+    from repro.bench.runner import get_dataset
+    from repro.serve.server import InferenceServer
+
+    dataset = get_dataset(scenario.dataset, scale=scenario.dataset_scale,
+                          seed=scenario.seed)
+    machine = Machine(scenario.machine_spec())
+    server = None
+    try:
+        server = InferenceServer(machine, dataset,
+                                 config=scenario.serve_config(),
+                                 workload=scenario.workload_spec(),
+                                 train_cfg=scenario.train_config())
+        stats = server.run()
+        status, error = "ok", ""
+    except OutOfMemoryError as exc:
+        stats, status, error = None, "OOM", str(exc)
+    except OutOfTimeError as exc:
+        stats, status, error = None, "OOT", str(exc)
+    finally:
+        if server is not None:
+            server.teardown()
+    san = machine.sanitizer
+    return ServeRun(
+        scenario=scenario,
+        status=status,
+        stats=stats,
+        digest=san.trace_digest() if san is not None else "",
+        trace=list(san.trace) if san is not None else None,
+        findings=[f.render() for f in san.findings] if san else [],
+        error=error)

@@ -1,0 +1,348 @@
+"""The inference server: replicas, SLO accounting, request lifecycle.
+
+Data path (architecture.md §10)::
+
+    injector ──> admission queue ──> micro-batcher ──> job queues
+    (open/closed loop)  (bounded,      (max-batch /     (1 per replica,
+                         shed)          max-wait)        round-robin)
+                                                            │
+                               [worker r]: sample ─> extract ─> infer
+                                                            │
+                            latency recorder <── resolve ──┘
+
+Every request ends in exactly one of three states — completed, shed at
+admission, or timed out in queue — so ``offered == completed + shed +
+timed_out`` holds as a checked invariant
+(:meth:`repro.core.stats.ServeStats.check_accounting`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.core.base import (TrainConfig, activation_bytes,
+                             probe_batch_shape)
+from repro.core.driver import SHUTDOWN
+from repro.core.sampling_io import topo_access_with_retry
+from repro.core.stats import ServeStats
+from repro.core.staging import StagingBuffer
+from repro.graph.datasets import DiskDataset
+from repro.machine import Machine
+from repro.models import make_model
+from repro.models.costmodel import ComputeCostModel
+from repro.models.train import predict
+from repro.sampling import NeighborSampler
+from repro.serve.backends import AsyncServeBackend, SyncServeBackend
+from repro.serve.batcher import AdmissionQueue, Job, MicroBatcher
+from repro.serve.config import ServeConfig, WorkloadSpec
+from repro.serve.workload import Request, build_requests
+from repro.simcore import LatencyRecorder, RandomStreams, Store
+from repro.simcore.engine import Event
+
+
+class InferenceServer:
+    """Online GNN inference over the simulated disk stack."""
+
+    def __init__(self, machine: Machine, dataset: DiskDataset,
+                 config: ServeConfig = ServeConfig(),
+                 workload: WorkloadSpec = WorkloadSpec(),
+                 train_cfg: TrainConfig = TrainConfig()):
+        if machine.spec.num_gpus < config.num_replicas:
+            raise ValueError(
+                f"{config.num_replicas} replicas need as many GPUs; "
+                f"machine has {machine.spec.num_gpus}")
+        self.machine = machine
+        self.dataset = dataset
+        self.config = config
+        self.workload = workload
+        self.train_cfg = train_cfg
+        m = machine
+        if dataset.topo_handle is None:
+            dataset.mount(m.catalog)
+        self.streams = RandomStreams(workload.seed)
+        self.fanouts = train_cfg.resolved_fanouts()
+        self.model = make_model(
+            train_cfg.model_kind, dataset.dim, train_cfg.hidden_dim,
+            dataset.num_classes, train_cfg.num_layers,
+            seed=train_cfg.seed, **dict(train_cfg.model_kwargs))
+        self.dims = ComputeCostModel.model_dims(
+            train_cfg.model_kind, dataset.dim, train_cfg.hidden_dim,
+            dataset.num_classes, train_cfg.num_layers)
+        #: The CSC index-pointer array stays resident, as in training.
+        self._indptr_alloc = m.host.allocate(dataset.indptr_nbytes(),
+                                             tag="indptr")
+
+        # Probe the worst-case job footprint: a full micro-batch of
+        # requests is one sampling seed set.
+        observed, observed_act = probe_batch_shape(
+            dataset, self.fanouts,
+            config.max_batch_size * workload.seeds_per_request,
+            dims=self.dims, seed=workload.seed)
+        self.max_job_nodes = int(observed * config.batch_nodes_margin)
+        # Inference activations: forward only, half the training probe.
+        self._act_reserve = int(observed_act
+                                * config.batch_nodes_margin) // 2
+
+        self.queue = AdmissionQueue(m.sim, config.queue_capacity)
+        model_bytes = (self.model.num_parameters() * 4)
+        record = dataset.features.record_nbytes
+        self.staging: Optional[StagingBuffer] = None
+        if config.backend == "async":
+            # Shared pinned staging, one portion per replica (§4.3).
+            self.staging = StagingBuffer(
+                m.host, config.num_replicas, self.max_job_nodes,
+                dataset.features.io_size(config.direct_io),
+                num_portions=config.num_replicas)
+        self.backends: List = []
+        self._job_qs: List[Store] = []
+        self._samplers: List[NeighborSampler] = []
+        for r in range(config.num_replicas):
+            m.gpus[r].allocate(model_bytes, tag="model")
+            if config.backend == "async":
+                budget = (m.gpus[r].available - self._act_reserve)
+                backend = AsyncServeBackend(
+                    m, dataset, config, r, self.max_job_nodes, budget,
+                    self.staging)
+            else:
+                backend = SyncServeBackend(m, dataset, config, r)
+            self.backends.append(backend)
+            self._job_qs.append(Store(m.sim, 2, f"serve-jobs{r}"))
+            self._samplers.append(NeighborSampler(
+                dataset.graph, self.fanouts,
+                self.streams.fork("serve-sampler", r)))
+        self._model_bytes = model_bytes
+        self._record = record
+        if m.sim.sanitizer is not None:
+            m.sim.sanitizer.register(self.queue)
+            for q in self._job_qs:
+                m.sim.sanitizer.register(q)
+
+        self.recorder = LatencyRecorder("serve")
+        self.requests: List[Request] = build_requests(
+            workload, dataset.test_idx, config.slo, self.streams)
+        self.timed_out = 0
+        self.slo_miss = 0
+        self.completed = 0
+        self._resolved = 0
+        self._done: Event = m.sim.event()
+        self._completion_events: Dict[int, Event] = {}
+        self._batches = 0
+        self._batched_requests = 0
+        self._actors: List = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def completion_event(self, rid: int) -> Event:
+        """Event fired when request *rid* reaches a terminal state."""
+        ev = self._completion_events.get(rid)
+        if ev is None:
+            ev = self.machine.sim.event()
+            self._completion_events[rid] = ev
+        return ev
+
+    def _resolve(self, req: Request) -> None:
+        if req.status == "pending":
+            raise RuntimeError(f"resolving pending request {req.rid}")
+        self._resolved += 1
+        ev = self._completion_events.pop(req.rid, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed(req.status)
+        if (self._resolved == len(self.requests)
+                and not self._done.triggered):
+            self._done.succeed(self.machine.sim.now)
+
+    def _admit(self, req: Request) -> bool:
+        """Deadline-based drop: a request that cannot start before its
+        deadline can no longer meet the SLO — drop it at dequeue."""
+        if self.machine.sim.now > req.deadline:
+            req.status = "timeout"
+            self.timed_out += 1
+            self._resolve(req)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Actors
+    # ------------------------------------------------------------------
+    def _injector_proc(self) -> Generator:
+        """Open-loop arrivals: offer each request at its timestamp."""
+        m = self.machine
+        for req in self.requests:
+            wait = req.arrival - m.sim.now
+            if wait > 0:
+                yield m.sim.timeout(wait)
+            if not self.queue.offer(req):
+                req.status = "shed"
+                self._resolve(req)
+
+    def _client_proc(self, client: int) -> Generator:
+        """Closed-loop client: issue, await resolution, think, repeat."""
+        m = self.machine
+        rng = self.streams.fork("serve-client", client)
+        mine = self.requests[client::self.workload.num_clients]
+        for req in mine:
+            req.arrival = m.sim.now
+            req.deadline = m.sim.now + self.config.slo
+            if not self.queue.offer(req):
+                req.status = "shed"
+                self._resolve(req)
+            else:
+                yield self.completion_event(req.rid)
+            if self.workload.think_time > 0:
+                yield m.sim.timeout(rng.exponential(
+                    self.workload.think_time))
+
+    def _dispatch(self, job: Job) -> Generator:
+        """Round-robin sealed jobs over the replica job queues."""
+        yield self._job_qs[job.batch_id % self.config.num_replicas].put(job)
+
+    def _worker_proc(self, r: int) -> Generator:
+        m = self.machine
+        cfg = self.config
+        backend = self.backends[r]
+        sampler = self._samplers[r]
+        gpu = m.gpus[r]
+        while True:
+            job = yield self._job_qs[r].get()
+            if job is SHUTDOWN:
+                return
+            seeds = np.concatenate([req.seeds for req in job.requests])
+            sub = sampler.sample(seeds)
+            for frontier in sub.hop_frontiers:
+                yield from topo_access_with_retry(
+                    m, m.page_cache, self.dataset.topo_handle,
+                    self.dataset.graph, frontier)
+            yield from m.cpu_task(m.cpu_cost.sample_compute_time(
+                sum(len(f) for f in sub.hop_frontiers),
+                sub.total_edges()))
+            feats = yield from backend.extract(sub.all_nodes)
+            duration = m.gpu_cost.forward_time(
+                self.train_cfg.model_kind, sub.layer_sizes(), self.dims)
+            act = activation_bytes(sub, self.dims) // 2  # no grads
+            gpu.allocate(act, tag="activations")
+            try:
+                yield from m.gpu_task(r, duration)
+            finally:
+                gpu.free(act, tag="activations")
+            predict(self.model, feats, sub)
+            backend.release(sub.all_nodes)
+            now = m.sim.now
+            self._batches += 1
+            self._batched_requests += len(job.requests)
+            for req in job.requests:
+                req.status = "ok"
+                req.completed = now
+                self.completed += 1
+                self.recorder.record(req.arrival, now)
+                if req.latency > cfg.slo:
+                    self.slo_miss += 1
+                self._resolve(req)
+
+    def _check_actors(self) -> None:
+        for p in self._actors:
+            if not p.is_alive and not p.ok:
+                raise p._value
+
+    # ------------------------------------------------------------------
+    def run(self) -> ServeStats:
+        """Serve the whole workload; returns checked statistics."""
+        m = self.machine
+        cfg = self.config
+        sim = m.sim
+        m.sanitize_epoch_begin()
+        t_start = sim.now
+        ssd0 = m.ssd.bytes_read
+        feat0 = m.ssd.read_bytes_for(self.dataset.feat_handle.name)
+        hits0, miss0 = m.page_cache.hits, m.page_cache.misses
+        f0 = m.fault_counters()
+
+        if self.workload.kind == "closed":
+            for c in range(self.workload.num_clients):
+                self._actors.append(sim.process(self._client_proc(c),
+                                                name=f"client{c}"))
+        else:
+            self._actors.append(sim.process(self._injector_proc(),
+                                            name="injector"))
+        batcher = MicroBatcher(sim, self.queue, cfg.max_batch_size,
+                               cfg.max_wait, self._dispatch,
+                               admit=self._admit)
+        self.batcher = batcher
+        self._actors.append(sim.process(batcher.run(), name="batcher"))
+        for r in range(cfg.num_replicas):
+            self._actors.append(sim.process(self._worker_proc(r),
+                                            name=f"serve-worker{r}"))
+        self._started = True
+
+        while not self._done.triggered:
+            sim.step()
+            self._check_actors()
+        duration = sim.now - t_start
+
+        # Shed requests at the queue were resolved by their issuers;
+        # cross-check the queue's own count.
+        shed = sum(1 for req in self.requests if req.status == "shed")
+        if shed != self.queue.shed:
+            raise RuntimeError(
+                f"shed accounting: queue saw {self.queue.shed}, "
+                f"requests say {shed}")
+        self.shutdown()
+        m.sanitize_epoch_end()
+
+        rate = (self.workload.rate if self.workload.kind == "poisson"
+                else (len(self.requests) / duration if duration > 0
+                      else 0.0))
+        rec = self.recorder
+        stats = ServeStats(
+            backend=cfg.backend,
+            offered=len(self.requests),
+            completed=self.completed,
+            shed=shed,
+            timed_out=self.timed_out,
+            slo=cfg.slo,
+            slo_miss=self.slo_miss,
+            duration=duration,
+            offered_rate=rate,
+            latency_p50=rec.quantile(0.50),
+            latency_p95=rec.quantile(0.95),
+            latency_p99=rec.quantile(0.99),
+            latency_mean=rec.mean(),
+            latency_max=rec.max(),
+            num_batches=self._batches,
+            mean_batch_size=(self._batched_requests / self._batches
+                             if self._batches else 0.0),
+            bytes_read=m.ssd.bytes_read - ssd0,
+            cache_hits=m.page_cache.hits - hits0,
+            cache_misses=m.page_cache.misses - miss0,
+            reused_nodes=sum(b.reused_nodes for b in self.backends),
+            loaded_nodes=sum(b.loaded_nodes for b in self.backends),
+            faults=m.fault_counters_delta(f0),
+        )
+        stats.extra["feat_bytes_read"] = (
+            m.ssd.read_bytes_for(self.dataset.feat_handle.name) - feat0)
+        stats.extra["queue_peak_depth"] = self.queue.peak_depth
+        stats.check_accounting()
+        return stats
+
+    def shutdown(self) -> None:
+        """Stop the batcher and workers, drain the simulator."""
+        if not self._started:
+            return
+        if not self.queue.closed:
+            self.queue.close()
+        for q in self._job_qs:
+            q.put(SHUTDOWN)
+        self.machine.sim.drain(self._actors)
+        self._started = False
+
+    def teardown(self) -> None:
+        """Release host allocations (staging + resident topology)."""
+        if self.staging is not None:
+            self.staging.close()
+            self.staging = None
+        if self._indptr_alloc is not None:
+            self.machine.host.free(self._indptr_alloc)
+            self._indptr_alloc = None

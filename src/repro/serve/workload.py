@@ -1,0 +1,87 @@
+"""Deterministic request generation for the serving plane.
+
+Every random draw comes from a named :class:`repro.simcore.RandomStreams`
+stream keyed only by the workload seed, so the same spec always yields
+the same request trace — :func:`request_trace_digest` turns that into a
+checkable hash (the bit-identity property test pins it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.serve.config import WorkloadSpec
+from repro.simcore import RandomStreams
+
+#: Request lifecycle states; exactly one terminal state per request
+#: (the accounting identity of :class:`repro.core.stats.ServeStats`).
+STATUSES = ("pending", "ok", "shed", "timeout")
+
+
+@dataclass
+class Request:
+    """One inference request: predict labels for ``seeds``."""
+
+    rid: int
+    arrival: float
+    seeds: np.ndarray
+    deadline: float
+    status: str = "pending"
+    completed: float = float("nan")
+    batch_id: int = -1
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.arrival
+
+
+def _draw_seeds(spec: WorkloadSpec, pool: np.ndarray,
+                streams: RandomStreams) -> np.ndarray:
+    """(num_requests, seeds_per_request) node ids, unique per request."""
+    rng = streams.get("serve-seeds")
+    take = min(spec.seeds_per_request, len(pool))
+    return np.stack([rng.choice(pool, size=take, replace=False)
+                     for _ in range(spec.num_requests)])
+
+
+def build_requests(spec: WorkloadSpec, seed_pool: np.ndarray,
+                   slo: float,
+                   streams: RandomStreams = None) -> List[Request]:
+    """Materialise the request list for *spec*.
+
+    *seed_pool* is the node-id population queries draw from (the test
+    split — nodes the model never trained on, like production traffic).
+    Closed-loop requests get ``arrival = nan``: the client pool stamps
+    arrivals at issue time, since they depend on service completions.
+    """
+    if streams is None:
+        streams = RandomStreams(spec.seed)
+    seed_pool = np.asarray(seed_pool, dtype=np.int64)
+    if len(seed_pool) == 0:
+        raise ValueError("empty seed pool")
+    seeds = _draw_seeds(spec, seed_pool, streams)
+    if spec.kind == "poisson":
+        gaps = streams.get("serve-arrivals").exponential(
+            1.0 / spec.rate, size=spec.num_requests)
+        arrivals = np.cumsum(gaps)
+    elif spec.kind == "trace":
+        arrivals = np.asarray(spec.arrivals, dtype=np.float64)
+    else:  # closed
+        arrivals = np.full(spec.num_requests, float("nan"))
+    return [Request(rid=i, arrival=float(arrivals[i]), seeds=seeds[i],
+                    deadline=float(arrivals[i]) + slo)
+            for i in range(spec.num_requests)]
+
+
+def request_trace_digest(requests: List[Request]) -> str:
+    """Order-sensitive hash of (rid, arrival, seeds) for all requests."""
+    h = hashlib.sha256()
+    for req in requests:
+        h.update(f"{req.rid}\t{req.arrival!r}\t".encode())
+        h.update(np.ascontiguousarray(req.seeds, dtype=np.int64).tobytes())
+        h.update(b"\n")
+    return h.hexdigest()

@@ -26,7 +26,8 @@ from repro.simcore.engine import Event, Process, Simulator, Timeout
 from repro.simcore.lru import ArrayLRU
 from repro.simcore.primitives import AllOf, AnyOf, Condition
 from repro.simcore.resources import Resource, Store
-from repro.simcore.metrics import IntervalRecorder, UtilizationProbe, TraceRecorder
+from repro.simcore.metrics import (IntervalRecorder, LatencyRecorder,
+                                   UtilizationProbe, TraceRecorder)
 from repro.simcore.rand import RandomStreams
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "Resource",
     "Store",
     "IntervalRecorder",
+    "LatencyRecorder",
     "UtilizationProbe",
     "TraceRecorder",
     "RandomStreams",

@@ -132,6 +132,57 @@ class TraceRecorder:
         return s[-1][1] if s else default
 
 
+class LatencyRecorder:
+    """Per-request latency samples with deterministic quantiles.
+
+    The serving plane records one ``(arrival, completion)`` pair per
+    completed request; quantiles use the linear-interpolation definition
+    on the sorted sample (deterministic — no estimation), matching
+    ``numpy.quantile``'s default without importing numpy here.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, arrival: float, completion: float) -> None:
+        if completion < arrival:
+            raise SimulationError(
+                f"latency recorder {self.name!r}: completion {completion} "
+                f"precedes arrival {arrival}")
+        self._samples.append(completion - arrival)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def latencies(self) -> List[float]:
+        return list(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile of the sample; NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return float("nan")
+        s = sorted(self._samples)
+        pos = q * (len(s) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(s) - 1)
+        frac = pos - lo
+        return s[lo] * (1.0 - frac) + s[hi] * frac
+
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return max(self._samples)
+
+
 class UtilizationProbe:
     """Bundles the three facility recorders the paper's Figs. 3/11 plot.
 

@@ -88,6 +88,8 @@ class AsyncRing:
         self.sim = sim
         self.device = device
         self.depth = depth
+        #: The configured depth, before any fault-recovery halvings.
+        self.initial_depth = depth
         self.direct = direct
         self._sq: List[Union[Sqe, SqeBatch]] = []
         self.submitted = 0
@@ -97,6 +99,19 @@ class AsyncRing:
 
     def __len__(self) -> int:
         return sum(1 if isinstance(e, Sqe) else len(e) for e in self._sq)
+
+    def widen(self) -> int:
+        """Restore depth toward the configured value after halvings.
+
+        Recovery halves ``depth`` under sustained CQE failures; callers
+        with request boundaries (the serving loop) widen back one
+        doubling at a time between requests, probing rather than
+        snapping back into a possibly still-degraded device.  Returns
+        the new depth.
+        """
+        if self.depth < self.initial_depth:
+            self.depth = min(self.initial_depth, self.depth * 2)
+        return self.depth
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -86,3 +86,64 @@ def test_jsonable_handles_nan_and_inf():
     assert math.isclose(_jsonable(np.float32(0.5)), 0.5)
     assert _jsonable(np.arange(3)) == [0, 1, 2]
     assert _jsonable({("a", 1): {2: 3}}) == {"a | 1": {"2": 3}}
+
+
+def test_fault_ledger_markdown_round_trip(tmp_path):
+    """The markdown fault-ledger table renders from reloaded stats.
+
+    Regression: the markdown report used to omit the fault ledger, so
+    chaos artifacts rendered identically to clean ones.
+    """
+    from repro.bench.report import (format_fault_ledger_markdown,
+                                    markdown_report)
+    chaos = _stats()
+    clean = _stats()
+    clean.faults = {}
+    result = ExperimentResult(
+        name="ledger", title="ledger round trip",
+        data={"per_system": {"gnndrive-gpu": [chaos], "pyg+": [clean]}})
+    path = str(tmp_path / "ledger.json")
+    save_result(result, path)
+    per_system = load_result(path)["data"]["per_system"]
+
+    table = format_fault_ledger_markdown(per_system)
+    # One row per system, one column per counter, chaos counts intact.
+    assert "| system | injected | recovered |" in table
+    assert "| gnndrive-gpu | 4 | 4 |" in table
+    assert "| pyg+ | 0 | 0 |" in table
+
+    report = markdown_report("ledger round trip", per_system)
+    assert "## Fault ledger" in report
+    assert "| gnndrive-gpu | 4 | 4 |" in report
+
+
+def test_fault_ledger_markdown_empty():
+    from repro.bench.report import format_fault_ledger_markdown
+    clean = _stats()
+    clean.faults = {}
+    assert "No faults recorded" in format_fault_ledger_markdown(
+        {"in-memory": [clean]})
+
+
+def test_serve_stats_round_trip(tmp_path):
+    """ServeStats (latency quantiles, ledger, extra) survive save/load."""
+    from repro.core.stats import ServeStats
+
+    s = ServeStats(backend="async", offered=40, completed=38, shed=1,
+                   timed_out=1, slo=0.05, slo_miss=2, duration=0.5,
+                   offered_rate=np.float64(80.0), latency_p50=0.004,
+                   latency_p95=0.02, latency_p99=float("nan"),
+                   num_batches=np.int64(9), mean_batch_size=4.2,
+                   bytes_read=8192, faults={"injected": 2})
+    s.extra["queue_peak_depth"] = np.int64(7)
+    result = ExperimentResult(name="serve-rt", title="serve round trip",
+                              data={"stats": [s]})
+    path = str(tmp_path / "serve.json")
+    save_result(result, path)
+    loaded = load_result(path)["data"]["stats"][0]
+    assert loaded["backend"] == "async"
+    assert loaded["offered"] == 40
+    assert loaded["offered_rate"] == pytest.approx(80.0)
+    assert loaded["latency_p99"] == "nan"
+    assert loaded["faults"] == {"injected": 2}
+    assert loaded["extra"]["queue_peak_depth"] == 7

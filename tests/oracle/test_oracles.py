@@ -95,8 +95,21 @@ def test_chaos_gates_metamorphic_oracles():
              if o.name != "sanitizer-clean" and not o.applicable(runner)]
     # Every wall-clock-anchored monotonicity oracle must step aside.
     for name in ("feat-bytes-le-pygplus", "host-memory-hits-monotone",
-                 "host-memory-time-monotone", "ssd-channels-time-monotone"):
+                 "host-memory-time-monotone", "ssd-channels-time-monotone",
+                 "serve-load-p99-monotone"):
         assert name in gated
+
+
+def test_serve_oracle_applicable_without_faults():
+    from repro.oracle.oracles import ServeLoadP99Monotone
+    runner = ScenarioRunner(Scenario(name="serve-gate", dataset="tiny",
+                                     epochs=1))
+    oracle = ServeLoadP99Monotone()
+    assert oracle.applicable(runner)
+    # The derived serve scenario must seal batches immediately: a
+    # positive max_wait legitimately raises low-load latency and would
+    # break the law the oracle pins.
+    assert oracle.check(runner) == []
 
 
 # ----------------------------------------------------------------------

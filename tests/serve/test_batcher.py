@@ -1,0 +1,163 @@
+"""Admission queue and micro-batcher unit behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.serve import AdmissionQueue, MicroBatcher
+from repro.serve.workload import Request
+from repro.simcore import Simulator
+
+pytestmark = pytest.mark.serve
+
+
+def _req(rid: int, arrival: float = 0.0, slo: float = 1.0) -> Request:
+    return Request(rid=rid, arrival=arrival,
+                   seeds=np.array([rid], dtype=np.int64),
+                   deadline=arrival + slo)
+
+
+def _collector(jobs):
+    def dispatch(job):
+        jobs.append(job)
+        return
+        yield  # pragma: no cover - makes dispatch a generator
+    return dispatch
+
+
+def test_queue_sheds_when_full():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=2)
+    assert q.offer(_req(0)) and q.offer(_req(1))
+    assert not q.offer(_req(2))
+    assert (q.offered, q.shed, len(q), q.peak_depth) == (3, 1, 2, 2)
+    q.check_invariants()
+
+
+def test_queue_offer_after_close_raises():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=2)
+    q.close()
+    with pytest.raises(SimulationError, match="closed"):
+        q.offer(_req(0))
+
+
+def test_queue_arrival_event_fires_on_offer():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=4)
+    ev = q.arrival_event()
+    assert not ev.triggered
+    q.offer(_req(0))
+    assert ev.triggered
+    # With items queued the event fires immediately.
+    assert q.arrival_event().triggered
+
+
+def test_abandoned_waiter_loses_nothing():
+    """The Store hazard this queue exists to avoid: an abandoned
+
+    arrival_event must not swallow an item."""
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=4)
+    q.arrival_event()            # abandoned immediately
+    q.offer(_req(0))
+    assert q.try_pop().rid == 0  # the item is still claimable
+
+
+def test_batcher_seals_at_max_batch_size():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=16)
+    jobs = []
+    b = MicroBatcher(sim, q, max_batch_size=3, max_wait=1.0,
+                     dispatch=_collector(jobs))
+    for i in range(7):
+        q.offer(_req(i))
+    q.close()
+    sim.process(b.run(), name="batcher")
+    sim.run()
+    assert [len(j) for j in jobs] == [3, 3, 1]
+    assert [r.rid for j in jobs for r in j.requests] == list(range(7))
+    assert all(r.batch_id == j.batch_id for j in jobs for r in j.requests)
+
+
+def test_batcher_seals_after_max_wait():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=16)
+    jobs = []
+    b = MicroBatcher(sim, q, max_batch_size=8, max_wait=0.25,
+                     dispatch=_collector(jobs))
+
+    def producer(sim, q):
+        q.offer(_req(0))
+        yield sim.timeout(1.0)   # far beyond max_wait
+        q.offer(_req(1))
+        q.close()
+
+    sim.process(producer(sim, q), name="producer")
+    sim.process(b.run(), name="batcher")
+    sim.run()
+    assert [len(j) for j in jobs] == [1, 1]
+    assert jobs[0].sealed_at == pytest.approx(0.25)
+    assert jobs[0].wait <= 0.25 + 1e-12
+
+
+def test_batcher_zero_wait_seals_immediately():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=16)
+    jobs = []
+    b = MicroBatcher(sim, q, max_batch_size=8, max_wait=0.0,
+                     dispatch=_collector(jobs))
+    q.offer(_req(0))
+    q.offer(_req(1))
+    q.close()
+    sim.process(b.run(), name="batcher")
+    sim.run()
+    assert len(jobs) == 1 and len(jobs[0]) == 2
+    assert jobs[0].wait == 0.0
+
+
+def test_batcher_admit_filter_drops():
+    """Rejected requests never enter a job (the deadline drop path)."""
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=16)
+    jobs, dropped = [], []
+
+    def admit(req):
+        if req.rid % 2:
+            dropped.append(req.rid)
+            return False
+        return True
+
+    b = MicroBatcher(sim, q, max_batch_size=4, max_wait=0.0,
+                     dispatch=_collector(jobs), admit=admit)
+    for i in range(6):
+        q.offer(_req(i))
+    q.close()
+    sim.process(b.run(), name="batcher")
+    sim.run()
+    assert [r.rid for j in jobs for r in j.requests] == [0, 2, 4]
+    assert dropped == [1, 3, 5]
+
+
+def test_batcher_returns_when_closed_and_drained():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=4)
+    b = MicroBatcher(sim, q, max_batch_size=2, max_wait=0.1,
+                     dispatch=_collector([]))
+    p = sim.process(b.run(), name="batcher")
+    q.close()
+    sim.run()
+    assert not p.is_alive
+
+
+def test_knob_validation():
+    sim = Simulator()
+    q = AdmissionQueue(sim, capacity=1)
+    with pytest.raises(ValueError):
+        AdmissionQueue(sim, capacity=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(sim, q, max_batch_size=0, max_wait=0.1,
+                     dispatch=_collector([]))
+    with pytest.raises(ValueError):
+        MicroBatcher(sim, q, max_batch_size=1, max_wait=-0.1,
+                     dispatch=_collector([]))

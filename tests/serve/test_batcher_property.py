@@ -1,0 +1,88 @@
+"""Property tests pinning the serving-plane invariants.
+
+1. The micro-batcher never violates ``max_batch_size`` or ``max_wait``,
+   and conserves requests (admitted = batched exactly once, in order),
+   for arbitrary arrival patterns and knob settings.
+2. Workload generation is bit-deterministic: the same spec + seed gives
+   the same request trace digest regardless of how often it is built.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import (AdmissionQueue, MicroBatcher, WorkloadSpec,
+                         build_requests, request_trace_digest)
+from repro.serve.workload import Request
+from repro.simcore import Simulator
+
+pytestmark = pytest.mark.serve
+
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=0.5,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=80, deadline=None)
+@given(gaps=gaps,
+       max_batch_size=st.integers(min_value=1, max_value=8),
+       max_wait=st.floats(min_value=0.0, max_value=0.3,
+                          allow_nan=False, allow_infinity=False),
+       capacity=st.integers(min_value=1, max_value=16))
+def test_batcher_invariants(gaps, max_batch_size, max_wait, capacity):
+    sim = Simulator()
+    queue = AdmissionQueue(sim, capacity=capacity)
+    jobs = []
+
+    def dispatch(job):
+        jobs.append(job)
+        return
+        yield  # pragma: no cover
+
+    batcher = MicroBatcher(sim, queue, max_batch_size, max_wait, dispatch)
+    admitted = []
+
+    def producer(sim):
+        rid = 0
+        for gap in gaps:
+            if gap:
+                yield sim.timeout(gap)
+            req = Request(rid=rid, arrival=sim.now,
+                          seeds=np.array([rid], dtype=np.int64),
+                          deadline=sim.now + 10.0)
+            if queue.offer(req):
+                admitted.append(rid)
+            rid += 1
+        queue.close()
+
+    sim.process(producer(sim), name="producer")
+    sim.process(batcher.run(), name="batcher")
+    sim.run()
+
+    # Size and wait caps hold exactly, for every sealed job.
+    assert all(1 <= len(j) <= max_batch_size for j in jobs)
+    assert all(j.wait <= max_wait + 1e-9 for j in jobs)
+    # Conservation: every admitted request batched exactly once, FIFO.
+    batched = [r.rid for j in jobs for r in j.requests]
+    assert batched == admitted
+    assert queue.offered == len(gaps)
+    assert queue.shed == len(gaps) - len(admitted)
+    assert len(queue) == 0
+    queue.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       kind=st.sampled_from(["poisson", "closed"]),
+       num_requests=st.integers(min_value=1, max_value=50),
+       seeds_per_request=st.integers(min_value=1, max_value=4),
+       rate=st.floats(min_value=1.0, max_value=1e4))
+def test_same_seed_streams_bit_identical(seed, kind, num_requests,
+                                         seeds_per_request, rate):
+    pool = np.arange(64, dtype=np.int64)
+    spec = WorkloadSpec(kind=kind, rate=rate, num_requests=num_requests,
+                        seeds_per_request=seeds_per_request, seed=seed)
+    digests = {request_trace_digest(build_requests(spec, pool, slo=0.05))
+               for _ in range(3)}
+    assert len(digests) == 1
