@@ -1,0 +1,61 @@
+"""Event-plane benchmarks: batched engine vs. the frozen heap reference.
+
+Where ``bench_hotpath.py`` guards the data plane (LRU sets, SQE
+arrays), this wrapper guards the engine itself: cohort dispatch off the
+vectorized calendar and fused SSD→ring completion delivery against the
+seed's one-heap-tuple-per-event loop (kept verbatim in
+:mod:`repro.simcore.refengine`).
+
+Run just these with::
+
+    pytest benchmarks -m perf_smoke
+
+The wall-clock floors are half the committed targets so loaded CI
+machines don't flake; the digest gates (engine equivalence under strict
+sanitizers, pinned golden traces) are exact and never relaxed.
+``BENCH_simcore.json`` records the full-size numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.simcore import SPEEDUP_TARGETS, run_simcore
+
+#: CI floor per target bench — half the committed target, so a noisy
+#: machine can't flake the suite while a real regression still fails.
+CI_FLOOR = {name: target / 2 for name, target in SPEEDUP_TARGETS.items()}
+
+
+@pytest.mark.perf_smoke
+def test_simcore_benchmarks(tmp_path, benchmark):
+    out = tmp_path / "BENCH_simcore.json"
+
+    def run():
+        return run_simcore(output=str(out), check=True, verbose=False)
+
+    artifact = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Digest gates are exact: the batched engine must replay the mixed
+    # sanitized schedule and the pinned golden scenario bit-for-bit.
+    assert artifact["engine_equivalence"]["match"], \
+        artifact["engine_equivalence"]["first_divergence"]
+    assert artifact["engine_equivalence"]["findings"] == 0
+    assert artifact["golden"]["bit_identical"], \
+        artifact["golden"]["mismatches"]
+
+    # check=True runs reduced sizes; gate the dispatch microbench (the
+    # headline engine win) at the CI floor.
+    by_name = {r["name"]: r for r in artifact["benches"]}
+    speedup = by_name["event_dispatch"]["speedup"]
+    assert speedup >= CI_FLOOR["event_dispatch"], (
+        f"event_dispatch: batched engine only {speedup:.2f}x over the "
+        f"heap reference (CI floor {CI_FLOOR['event_dispatch']:.1f}x, "
+        f"target {SPEEDUP_TARGETS['event_dispatch']:.1f}x)")
+
+    # The artifact round-trips and carries the promised fields.
+    recorded = json.loads(out.read_text())
+    assert recorded["benches"] == artifact["benches"]
+    for r in recorded["benches"]:
+        assert {"name", "n_ops", "runs", "reference_s", "vectorized_s",
+                "reference_mean_s", "reference_stddev_s", "speedup"} <= set(r)

@@ -264,11 +264,13 @@ class MariusGNN(TrainingSystem):
             f0 = m.fault_counters()
             done = sim.event()
             proc = sim.process(self._epoch_proc(epoch, done), name="marius")
-            while not done.triggered:
-                sim.step()
+
+            def _audit_proc():
                 self.check_time_budget(time_budget)
                 if not proc.is_alive and not proc.ok:
                     raise proc._value
+
+            sim.run_until_triggered(done, each_event=_audit_proc)
             m.sanitize_epoch_end()
 
             stats = EpochStats(

@@ -176,15 +176,18 @@ class PyGPlus(TrainingSystem):
             fmiss0 = m.page_cache.misses_for(self.dataset.feat_handle.name)
             f0 = m.fault_counters()
             done = sim.event()
-            for batch_id, seeds in enumerate(batches):
-                self.pending_q.put((epoch, batch_id, seeds))
+            self.pending_q.put_many(
+                (epoch, batch_id, seeds)
+                for batch_id, seeds in enumerate(batches))
             main = sim.process(self._main_loop(epoch, len(batches), done),
                                name="pyg-main")
-            while not done.triggered:
-                sim.step()
+
+            def _audit_main():
                 self.check_time_budget(time_budget)
                 if not main.is_alive and not main.ok:
                     raise main._value  # propagate OOM etc.
+
+            sim.run_until_triggered(done, each_event=_audit_main)
             m.sanitize_epoch_end()
 
             stats = EpochStats(

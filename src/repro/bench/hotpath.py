@@ -41,6 +41,7 @@ from repro.storage.spec import PAGE_SIZE, SECTOR_SIZE
 SPEEDUP_TARGETS = {
     "feature_buffer_alloc_release": 5.0,
     "page_cache_access": 5.0,
+    "page_cache_churn": 3.0,
 }
 
 
@@ -202,12 +203,17 @@ def _batch_trace(rng, num_batches: int, batch_nodes: int, num_nodes: int,
     return batches
 
 
-def _time(fn: Callable[[], object], repeats: int = 2) -> float:
-    """Best-of-N wall clock with the cyclic GC quiesced: collect the
-    other side's garbage first, then keep the collector out of the
+def _time(fn: Callable[[], object], repeats: int = 3) -> Dict:
+    """Repeated wall-clock samples with the cyclic GC quiesced: collect
+    the other side's garbage first, then keep the collector out of the
     measurement (standard timeit hygiene) so benches don't pay for each
-    other's allocation history."""
-    best = float("inf")
+    other's allocation history.
+
+    Returns ``{"best", "runs", "mean_s", "stddev_s"}``; ratios are
+    taken over *best* (least-noise estimator), the spread is reported so
+    artifacts carry their own error bars.
+    """
+    samples = []
     for _ in range(repeats):
         gc.collect()
         gc.disable()
@@ -216,10 +222,15 @@ def _time(fn: Callable[[], object], repeats: int = 2) -> float:
             t0 = time.perf_counter()
             fn()
             # sim-lint: disable=DET101 -- hotpath benches real wall time
-            best = min(best, time.perf_counter() - t0)
+            samples.append(time.perf_counter() - t0)
         finally:
             gc.enable()
-    return best
+    return {
+        "best": min(samples),
+        "runs": len(samples),
+        "mean_s": float(np.mean(samples)),
+        "stddev_s": float(np.std(samples)),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -439,15 +450,21 @@ def bench_sqe_batches(num_records: int = 200_000, record_nbytes: int = 768,
 
 
 # ----------------------------------------------------------------------
-def _result(name: str, n_ops: int, t_ref: float, t_vec: float) -> Dict:
+def _result(name: str, n_ops: int, t_ref: Dict, t_vec: Dict) -> Dict:
+    ref, vec = t_ref["best"], t_vec["best"]
     return {
         "name": name,
         "n_ops": int(n_ops),
-        "reference_s": t_ref,
-        "vectorized_s": t_vec,
-        "reference_ns_per_op": 1e9 * t_ref / n_ops,
-        "vectorized_ns_per_op": 1e9 * t_vec / n_ops,
-        "speedup": t_ref / t_vec,
+        "runs": t_ref["runs"],
+        "reference_s": ref,
+        "vectorized_s": vec,
+        "reference_mean_s": t_ref["mean_s"],
+        "reference_stddev_s": t_ref["stddev_s"],
+        "vectorized_mean_s": t_vec["mean_s"],
+        "vectorized_stddev_s": t_vec["stddev_s"],
+        "reference_ns_per_op": 1e9 * ref / n_ops,
+        "vectorized_ns_per_op": 1e9 * vec / n_ops,
+        "speedup": ref / vec,
         "target_speedup": SPEEDUP_TARGETS.get(name),
     }
 

@@ -1,0 +1,409 @@
+"""Engine benchmarks: batched event calendar vs. the frozen heap loop.
+
+``python -m repro.bench hotpath`` measures the *data plane* (LRU sets,
+SQE arrays); this module measures the *event plane* — the discrete-event
+engine itself.  Every bench runs the same program on two engines:
+
+* the production batched engine (:mod:`repro.simcore.engine`): cohort
+  dispatch off a vectorized calendar, logical wakeup cohorts, fused
+  SSD→ring completion delivery;
+* the frozen reference engine (:mod:`repro.simcore.refengine`): the
+  seed's tuple heap, one push/pop per event, one Python ``Timeout`` per
+  CQE with per-event callback delivery into a countdown latch.
+
+Both engines accept the same programs and the benches assert the
+*outcomes* agree exactly — final simulated clock, per-actor completion
+times, device busy time — so the ratio measures dispatch machinery, not
+modelling drift.  Bit-level digest equality is gated separately:
+
+* :func:`check_engine_equivalence` runs a mixed sanitized schedule
+  (processes, ties, priorities, cancellations, wakeup cohorts) on both
+  engines under strict :class:`~repro.analysis.sanitizer.SimSanitizer`
+  instances and requires identical per-event traces and digests;
+* the pinned golden traces (``tests/golden/``) are re-checked via
+  :func:`repro.oracle.check_golden` — the batched engine must reproduce
+  the seed digests bit-for-bit across all seven systems.
+
+Run with ``python -m repro.bench simcore`` (writes
+``BENCH_simcore.json``) or ``--check`` for the CI smoke (small sizes,
+dispatch gate + digest gates only).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.sanitizer import SimSanitizer
+from repro.bench.hotpath import _time
+from repro.simcore import Simulator, refengine
+from repro.storage import AsyncRing, FileCatalog, SSDDevice, SSDSpec
+
+#: Wall-clock targets the PR trajectory is tracked against.  The
+#: dispatch microbench isolates the calendar; the e2e benches run the
+#: contended-training and serve-saturation event patterns end to end.
+SPEEDUP_TARGETS = {
+    "event_dispatch": 10.0,
+    "e2e_contended_training": 3.0,
+    "e2e_serve_saturation": 3.0,
+}
+
+#: Device used by the e2e benches (timing model shared by both sides).
+_SPEC = SSDSpec(read_latency=80e-6, channel_bandwidth=600e6, channels=8,
+                name="bench-ssd")
+_RECORD = 4096
+
+
+def _result(name: str, n_ops: int, t_ref: Dict, t_vec: Dict) -> Dict:
+    ref, vec = t_ref["best"], t_vec["best"]
+    return {
+        "name": name,
+        "n_ops": int(n_ops),
+        "runs": t_ref["runs"],
+        "reference_s": ref,
+        "vectorized_s": vec,
+        "reference_mean_s": t_ref["mean_s"],
+        "reference_stddev_s": t_ref["stddev_s"],
+        "vectorized_mean_s": t_vec["mean_s"],
+        "vectorized_stddev_s": t_vec["stddev_s"],
+        "reference_ns_per_op": 1e9 * ref / n_ops,
+        "vectorized_ns_per_op": 1e9 * vec / n_ops,
+        "speedup": ref / vec,
+        "target_speedup": SPEEDUP_TARGETS.get(name),
+    }
+
+
+# ----------------------------------------------------------------------
+# Dispatch microbench
+# ----------------------------------------------------------------------
+def bench_event_dispatch(waves: int = 200, cohort: int = 400) -> Dict:
+    """Pure calendar throughput: *waves* timestamps, *cohort* wakeups
+    each.
+
+    The reference arms and dispatches one heap tuple per wakeup; the
+    batched engine arms everything with one calendar insert and retires
+    each timestamp as one cohort.  This is the per-CQE clock-tick
+    pattern of completion delivery with the modelling stripped away.
+    """
+    n = waves * cohort
+    delays = np.repeat(np.arange(1, waves + 1, dtype=np.float64) * 1e-3,
+                       cohort)
+    finals = {}
+
+    def run_reference():
+        sim = refengine.Simulator()
+        sim.schedule_wakeups(delays)          # N real timeouts
+        sim.run()
+        finals["ref"] = (sim.now, sim.events_dispatched)
+
+    def run_batched():
+        sim = Simulator()
+        sim.schedule_wakeups(delays)          # one calendar insert
+        sim.run()
+        finals["vec"] = (sim.now, sim.events_dispatched)
+
+    t_ref = _time(run_reference)
+    t_vec = _time(run_batched)
+    if finals["ref"] != finals["vec"]:
+        raise AssertionError(
+            f"dispatch outcomes diverged: ref {finals['ref']} "
+            f"vs batched {finals['vec']}")
+    return _result("event_dispatch", n, t_ref, t_vec)
+
+
+# ----------------------------------------------------------------------
+# End-to-end event patterns (shared timing model, delivery plane swapped)
+# ----------------------------------------------------------------------
+def _make_rig(sim):
+    device = SSDDevice(sim, _SPEC)
+    catalog = FileCatalog()
+    handle = catalog.create("features.bin", nbytes=1 << 30,
+                            record_nbytes=_RECORD)
+    return device, handle
+
+
+def _arm_per_cqe(sim, done):
+    """Seed-style delivery: one Timeout per CQE ticking a countdown into
+    a latch event that fires on the final completion.  Built from the
+    engine's own factories so it runs unchanged on either engine."""
+    latch = sim.event()
+    state = [len(done)]
+    now = sim.now
+
+    def tick(_event, latch=latch, state=state):
+        state[0] -= 1
+        if state[0] == 0:
+            latch.succeed(0)
+
+    for t in done:
+        cqe = sim.timeout(max(0.0, float(t) - now))
+        cqe.callbacks.append(tick)
+    return latch
+
+
+def _extractor(sim, ring, handle, id_batches, fused: bool, out: list):
+    """One training actor: per mini-batch, submit reads and block until
+    every CQE has landed at CQE granularity."""
+    for ids in id_batches:
+        ring.prepare_record_reads(handle, ids)
+        done = ring.submit()
+        if fused:
+            # Fused delivery: the whole completion cohort becomes one
+            # logical-wakeup batch plus one real timeout for the waiter.
+            ring.drain_cohort(done)
+            yield ring.drain_wait(done)
+        else:
+            # Seed delivery: one Timeout per CQE ticking a countdown
+            # latch; the actor resumes on the final tick.
+            yield _arm_per_cqe(sim, done)
+        out.append(float(done.max()))
+
+
+def bench_e2e_contended_training(actors: int = 4, batches: int = 25,
+                                 reads: int = 512) -> Dict:
+    """The contended training scenario's event plane: several extractor
+    actors share one SSD, each repeatedly submitting a mini-batch of
+    reads and waiting for per-CQE completion.
+
+    Timing model (device queueing) is identical on both sides; only the
+    completion-delivery plane differs, so the speedup is the engine's.
+    """
+    rng = np.random.default_rng(7)
+    id_batches = [[rng.integers(0, (1 << 30) // _RECORD, size=reads)
+                   for _ in range(batches)] for _ in range(actors)]
+    n = actors * batches * reads
+    outcome = {}
+
+    def run_engine(sim, fused: bool):
+        device, handle = _make_rig(sim)
+        outs = [[] for _ in range(actors)]
+        procs = []
+        for a in range(actors):
+            ring = AsyncRing(sim, device, depth=64)
+            procs.append(sim.process(
+                _extractor(sim, ring, handle, id_batches[a], fused,
+                           outs[a]),
+                name=f"extractor-{a}"))
+        sim.run()
+        stuck = [p.name for p in procs if p.is_alive]
+        if stuck:
+            raise AssertionError(f"actors never finished: {stuck}")
+        return (sim.now, device.busy_time, outs)
+
+    def run_reference():
+        outcome["ref"] = run_engine(refengine.Simulator(), fused=False)
+
+    def run_batched():
+        outcome["vec"] = run_engine(Simulator(), fused=True)
+
+    t_ref = _time(run_reference)
+    t_vec = _time(run_batched)
+    if outcome["ref"] != outcome["vec"]:
+        raise AssertionError(
+            "contended-training outcomes diverged between engines")
+    return _result("e2e_contended_training", n, t_ref, t_vec)
+
+
+def _server(sim, ring, handle, arrivals, window: int, fused: bool,
+            out: list):
+    """The serving loop's event plane: wait for a window of arrivals,
+    submit the batch, block on per-CQE completion delivery."""
+    served = 0
+    for start in range(0, len(arrivals), window):
+        group = arrivals[start:start + window]
+        gap = float(group[-1]) - sim.now
+        if gap > 0:
+            yield sim.timeout(gap)
+        ids = np.arange(start, start + len(group), dtype=np.int64)
+        ring.prepare_record_reads(handle, ids)
+        done = ring.submit()
+        if fused:
+            ring.drain_cohort(done)
+            yield ring.drain_wait(done)
+        else:
+            yield _arm_per_cqe(sim, done)
+        served += len(group)
+    out.append((served, sim.now))
+
+
+def bench_e2e_serve_saturation(rates: Sequence[float] = (8e3, 32e3, 128e3),
+                               requests: int = 4096,
+                               window: int = 128) -> Dict:
+    """The serve saturation sweep's event plane: for each offered load,
+    requests arrive on a deterministic schedule, are batched into
+    dispatch windows, and complete with CQE-granular delivery.
+
+    The reference arms one Timeout per arrival and one per CQE; the
+    batched engine arms each plane as one wakeup cohort per sweep point
+    / per window.
+    """
+    n = sum(2 * requests for _ in rates)   # one arrival + one CQE each
+    outcome = {}
+
+    def run_engine(sim_cls, fused: bool):
+        results = []
+        for rate in rates:
+            sim = sim_cls()
+            arrivals = np.arange(requests, dtype=np.float64) / float(rate)
+            if fused:
+                sim.schedule_wakeups(arrivals, kind="Arrival")
+            else:
+                sim.schedule_wakeups(arrivals)    # N real timeouts
+            device, handle = _make_rig(sim)
+            ring = AsyncRing(sim, device, depth=window)
+            out = []
+            proc = sim.process(
+                _server(sim, ring, handle, arrivals, window, fused, out),
+                name=f"server-{rate:g}")
+            sim.run()
+            if proc.is_alive:
+                raise AssertionError(f"server at rate {rate:g} never "
+                                     f"finished")
+            results.append((out[0], sim.now, device.busy_time))
+        return results
+
+    def run_reference():
+        outcome["ref"] = run_engine(refengine.Simulator, fused=False)
+
+    def run_batched():
+        outcome["vec"] = run_engine(Simulator, fused=True)
+
+    t_ref = _time(run_reference)
+    t_vec = _time(run_batched)
+    if outcome["ref"] != outcome["vec"]:
+        raise AssertionError(
+            "serve-saturation outcomes diverged between engines")
+    return _result("e2e_serve_saturation", n, t_ref, t_vec)
+
+
+# ----------------------------------------------------------------------
+# Digest gates
+# ----------------------------------------------------------------------
+def _mixed_program(sim):
+    """A schedule exercising every dispatch shape the engines share:
+    priorities, same-timestamp ties, cancellations, wakeup cohorts,
+    processes chaining same-time events."""
+    sim.schedule_wakeups(np.repeat(np.arange(1, 21, dtype=np.float64)
+                                   * 1e-4, 25))
+    stray = sim.timeouts(np.full(10, 1.5e-3))
+    for t in stray[::2]:
+        t.cancel()
+    cohort = sim.schedule_wakeups(np.full(30, 2.5e-3))
+    for i in range(0, 30, 3):
+        cohort.cancel(i)
+
+    def chain(depth):
+        for _ in range(depth):
+            yield sim.timeout(0.0)
+        yield sim.timeout(1e-4)
+
+    def waiter():
+        yield sim.timeout(5e-4)
+        done = [sim.process(chain(d), name=f"chain-{d}")
+                for d in range(1, 4)]
+        for p in done:
+            yield p
+
+    sim.process(waiter(), name="waiter")
+    sim.run()
+
+
+def check_engine_equivalence() -> Dict:
+    """Run the mixed schedule on both engines under strict sanitizers;
+    require identical traces and digests."""
+    sans = {}
+    for label, sim in (("reference", refengine.Simulator()),
+                       ("batched", Simulator())):
+        san = SimSanitizer(strict=True, trace=True)
+        sim.sanitizer = san
+        _mixed_program(sim)
+        sans[label] = san
+    a, b = sans["reference"], sans["batched"]
+    divergence = SimSanitizer.first_divergence(a, b)
+    return {
+        "events": len(b.trace),
+        "reference_digest": a.trace_digest(),
+        "batched_digest": b.trace_digest(),
+        "match": a.trace_digest() == b.trace_digest(),
+        "first_divergence": divergence,
+        "findings": len(a.findings) + len(b.findings),
+    }
+
+
+def check_golden_digests() -> Dict:
+    """Re-run the pinned golden scenario on the batched engine and diff
+    against the committed digests and traces."""
+    from repro.oracle import check_golden, golden_digests
+    mismatches = check_golden()
+    return {
+        "systems": len(golden_digests()),
+        "mismatches": mismatches,
+        "bit_identical": not mismatches,
+    }
+
+
+# ----------------------------------------------------------------------
+ALL_BENCHES = (
+    bench_event_dispatch,
+    bench_e2e_contended_training,
+    bench_e2e_serve_saturation,
+)
+
+
+def run_simcore(output: Optional[str] = "BENCH_simcore.json",
+                check: bool = False, verbose: bool = True) -> Dict:
+    """Run the engine benches plus both digest gates; write the artifact.
+
+    ``check=True`` is the CI smoke: small bench sizes, and only the
+    dispatch gate (the e2e benches are reported but not gated, so a
+    loaded CI machine can't flake the suite on a 3x margin).
+    """
+    if check:
+        results = [bench_event_dispatch(waves=60, cohort=100),
+                   bench_e2e_contended_training(actors=2, batches=6,
+                                                reads=128),
+                   bench_e2e_serve_saturation(rates=(32e3,), requests=512)]
+        gated = {"event_dispatch": SPEEDUP_TARGETS["event_dispatch"] / 2}
+    else:
+        results = [bench() for bench in ALL_BENCHES]
+        gated = SPEEDUP_TARGETS
+    if verbose:
+        for r in results:
+            print(f"{r['name']:28s} {r['n_ops']:>8d} ops | "
+                  f"ref {r['reference_ns_per_op']:8.1f} ns/op | "
+                  f"vec {r['vectorized_ns_per_op']:8.1f} ns/op | "
+                  f"{r['speedup']:6.1f}x")
+    equivalence = check_engine_equivalence()
+    golden = check_golden_digests()
+    if verbose:
+        print(f"engine equivalence: {equivalence['events']} events, "
+              f"digests match={equivalence['match']}")
+        print(f"golden traces: {golden['systems']} systems, "
+              f"bit_identical={golden['bit_identical']}")
+    by_name = {r["name"]: r for r in results}
+    artifact = {
+        "artifact": "simcore-engine-benchmarks",
+        "generated_by": "python -m repro.bench simcore"
+                        + (" --check" if check else ""),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benches": results,
+        "engine_equivalence": equivalence,
+        "golden": golden,
+        "targets": SPEEDUP_TARGETS,
+        "targets_met": (
+            equivalence["match"] and golden["bit_identical"]
+            and equivalence["findings"] == 0
+            and all(by_name[name]["speedup"] >= floor
+                    for name, floor in gated.items())),
+    }
+    if output:
+        with open(output, "w") as f:
+            json.dump(artifact, f, indent=1)
+            f.write("\n")
+        if verbose:
+            print(f"\nartifact written to {output}")
+    return artifact

@@ -546,13 +546,12 @@ class GNNDrive(TrainingSystem):
             load0 = self.feature_buffer.stat_loaded
             f0 = m.fault_counters()
 
-            for batch_id, seeds in enumerate(batches):
-                self.pending_q.put((epoch, batch_id, seeds))
+            self.pending_q.put_many(
+                (epoch, batch_id, seeds)
+                for batch_id, seeds in enumerate(batches))
             # Drive the simulation until the trainer finishes the epoch.
-            while not done.triggered:
-                m.sim.step()
-                self.check_time_budget(time_budget)
-                self._check_actors()
+            m.sim.run_until_triggered(done, each_event=lambda: (
+                self.check_time_budget(time_budget), self._check_actors()))
             m.sanitize_epoch_end()
 
             stats = EpochStats(

@@ -219,13 +219,19 @@ class MultiGPUGNNDrive(TrainingSystem):
                 w._epoch_loss_sum = 0.0
                 w._epoch_correct = 0
                 w._epoch_seen = 0
-                for batch_id, seeds in enumerate(batches):
-                    w.pending_q.put((epoch, batch_id, seeds))
-            while not all(d.triggered for d in dones):
-                m.sim.step()
+                w.pending_q.put_many(
+                    (epoch, batch_id, seeds)
+                    for batch_id, seeds in enumerate(batches))
+
+            def _audit_workers():
                 self.check_time_budget(time_budget)
                 for w in self.workers:
                     w._check_actors()
+
+            # Equivalent to `while not all(d.triggered): step()` — a
+            # done event already triggered makes its wait a no-op.
+            for d in dones:
+                m.sim.run_until_triggered(d, each_event=_audit_workers)
             m.sanitize_epoch_end()
             for w in self.workers:
                 agg.sample += w._stage.sample

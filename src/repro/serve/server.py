@@ -277,9 +277,7 @@ class InferenceServer:
                                             name=f"serve-worker{r}"))
         self._started = True
 
-        while not self._done.triggered:
-            sim.step()
-            self._check_actors()
+        sim.run_until_triggered(self._done, each_event=self._check_actors)
         duration = sim.now - t_start
 
         # Shed requests at the queue were resolved by their issuers;

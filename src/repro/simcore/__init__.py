@@ -22,7 +22,9 @@ Quick example
 (1.5, 'done')
 """
 
-from repro.simcore.engine import Event, Process, Simulator, Timeout
+from repro.simcore.calendar import EventCalendar, Segment
+from repro.simcore.engine import (Event, Process, Simulator, Timeout,
+                                  WakeupCohort)
 from repro.simcore.lru import ArrayLRU
 from repro.simcore.primitives import AllOf, AnyOf, Condition
 from repro.simcore.resources import Resource, Store
@@ -36,6 +38,9 @@ __all__ = [
     "Process",
     "Simulator",
     "Timeout",
+    "WakeupCohort",
+    "EventCalendar",
+    "Segment",
     "AllOf",
     "AnyOf",
     "Condition",

@@ -1,0 +1,268 @@
+"""Numpy-backed event calendar: cohort pops over singletons and segments.
+
+The calendar replaces the flat ``(when, priority, seq, event)`` tuple
+heap of the seed engine.  It stores two entry shapes under one heap
+spine:
+
+* **singletons** — one ``(when, key, event)`` tuple per individually
+  scheduled event, exactly as cheap as the old heap push;
+* **segments** — struct-of-arrays batches produced by one batched arm
+  (``Simulator.timeouts`` / ``Simulator.schedule_wakeups``): a float64
+  ``whens`` array sorted by ``(when, key)``, an int64 ``keys`` array
+  (priority and sequence number packed into one comparable integer),
+  and either an object array of events or ``None`` for object-free
+  logical wakeups.  One heap push arms the whole batch; pops consume
+  the sorted prefix run-by-run.
+
+``pop_cohort`` removes *every* entry scheduled for the minimum pending
+timestamp in one call — the unit of dispatch for the batched engine.
+Cancellation is lazy: tombstoned events stay in place and are skipped
+at dispatch time, so cancel is O(1).
+
+The packed key is ``(priority << 62) | seq``.  With priorities in
+{URGENT=0, NORMAL=1} and the monotone sequence number, sorting by key
+reproduces the seed heap's ``(priority, seq)`` tie-break exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Bit position of the priority field inside a packed key.
+PRIO_SHIFT = 62
+#: Mask recovering the sequence number from a packed key.
+SEQ_MASK = (1 << PRIO_SHIFT) - 1
+
+
+class Segment:
+    """One batch-armed run of calendar entries (struct-of-arrays).
+
+    ``whens``/``keys`` are sorted by ``(when, key)``; ``events`` is a
+    parallel object array, or ``None`` for logical wakeup cohorts (the
+    ``cohort`` handle then carries kind/name and the tombstone mask).
+    ``start`` is the consumption cursor: entries before it have been
+    popped.
+    """
+
+    __slots__ = ("whens", "keys", "events", "cohort", "start")
+
+    def __init__(self, whens: np.ndarray, keys: np.ndarray,
+                 events: Optional[np.ndarray], cohort=None):
+        self.whens = whens
+        self.keys = keys
+        self.events = events
+        self.cohort = cohort
+        self.start = 0
+
+    def __len__(self) -> int:
+        return len(self.whens) - self.start
+
+    @property
+    def head_when(self) -> float:
+        return float(self.whens[self.start])
+
+    @property
+    def head_key(self) -> int:
+        return int(self.keys[self.start])
+
+    def take_run(self, t: float) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Consume and return the prefix of entries with ``when == t``."""
+        s = self.start
+        e = s + int(np.searchsorted(self.whens[s:], t, side="right"))
+        self.start = e
+        return self.keys[s:e], (None if self.events is None
+                                else self.events[s:e])
+
+
+class EventCalendar:
+    """Heap spine over singleton entries and sorted segments.
+
+    Heap entries are ``(when, key, payload)`` where payload is either an
+    event object (singleton) or a :class:`Segment` keyed by its head
+    entry.  Keys are globally unique, so tuple comparison never reaches
+    the payload.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap: List[tuple] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        """Number of pending entries (segments count each remaining row)."""
+        n = 0
+        for _, _, payload in self._heap:
+            n += len(payload) if isinstance(payload, Segment) else 1
+        return n
+
+    def width(self) -> int:
+        """Number of heap entries (segments count once) — the cost of
+        one :meth:`pop_logical_bulk` sweep."""
+        return len(self._heap)
+
+    def min_time(self) -> float:
+        """Earliest pending timestamp (``inf`` when empty).
+
+        Naive with respect to tombstones — a cancelled entry still
+        holds its place until popped, matching the reference engine's
+        ``peek``.
+        """
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # ------------------------------------------------------------------
+    def push(self, when: float, key: int, event) -> None:
+        """Arm one singleton entry (cost of the seed's heappush)."""
+        heapq.heappush(self._heap, (when, key, event))
+
+    def push_segment(self, segment: Segment) -> None:
+        """Arm a whole sorted batch with one heap push."""
+        if len(segment):
+            heapq.heappush(
+                self._heap, (segment.head_when, segment.head_key, segment))
+
+    # ------------------------------------------------------------------
+    def peek_sole_segment_run(self, t: float) -> Optional[Segment]:
+        """The head segment, iff it alone owns the cohort at time *t*.
+
+        Returns the segment when the heap head is a segment at time
+        ``t`` and no other heap entry shares that timestamp — the
+        precondition for the engine's O(1)-per-cohort logical dispatch.
+        The caller still pops via :meth:`pop_cohort`.
+        """
+        heap = self._heap
+        head = heap[0]
+        if head[0] != t or not isinstance(head[2], Segment):
+            return None
+        n = len(heap)
+        # The two heap children are the only candidates for the second-
+        # smallest timestamp.
+        if (n > 1 and heap[1][0] == t) or (n > 2 and heap[2][0] == t):
+            return None
+        return head[2]
+
+    def pop_logical_prefix(self, limit: float
+                           ) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                               object]]:
+        """Consume the head segment's maximal uncontended logical run.
+
+        When the heap head is an object-free (logical wakeup) segment,
+        remove and return its prefix of entries that precede every
+        other heap entry strictly in time and do not exceed *limit*
+        (inclusive, the run-horizon contract: a cohort at exactly the
+        horizon dispatches in full).  Returns ``(whens, keys, cohort)``
+        or None when the head is not a logical segment or the prefix is
+        empty (a timestamp tie with another entry — the cohort path's
+        job).
+
+        The prefix may span many timestamps: logical wakeups carry no
+        callbacks, so nothing can be scheduled between two of them and
+        the whole span is dispatchable in one vectorized sweep.
+        """
+        heap = self._heap
+        seg = heap[0][2]
+        if not isinstance(seg, Segment) or seg.events is not None:
+            return None
+        n = len(heap)
+        t_next = float("inf")
+        if n > 1:
+            t_next = heap[1][0]
+            if n > 2 and heap[2][0] < t_next:
+                t_next = heap[2][0]
+        whens = seg.whens
+        s = seg.start
+        tail = whens[s:]
+        stop = s + min(int(np.searchsorted(tail, t_next, side="left")),
+                       int(np.searchsorted(tail, limit, side="right")))
+        if stop <= s:
+            return None
+        heapq.heappop(heap)
+        out = (whens[s:stop], seg.keys[s:stop], seg.cohort)
+        seg.start = stop
+        if len(seg):
+            heapq.heappush(heap, (seg.head_when, seg.head_key, seg))
+        return out
+
+    def pop_logical_bulk(self, limit: float) -> Optional[List[tuple]]:
+        """Consume every logical entry before the next non-logical one.
+
+        When the heap head is a logical segment, remove from *every*
+        logical segment the entries that strictly precede the earliest
+        non-logical entry (and do not exceed *limit*, inclusive), in one
+        sweep.  Returns a list of ``(whens, keys, cohort)`` spans or
+        None when the head is not a logical segment or nothing is
+        consumable.
+
+        This is the saturation-pattern companion to
+        :meth:`pop_logical_prefix`: when several wakeup cohorts
+        interleave in time (arrival stream vs. completion stream), the
+        per-head prefix fragments into tiny runs, but the union is still
+        callback-free and so order-insensitive — callers that need no
+        per-event observation (no sanitizer) may retire the whole union
+        at once.  The sweep is O(heap entries); callers should fall back
+        to the head-prefix path when the heap is wide.
+        """
+        heap = self._heap
+        head = heap[0][2]
+        if not isinstance(head, Segment) or head.events is not None:
+            return None
+        t_stop = float("inf")
+        for when, _key, payload in heap:
+            if not (isinstance(payload, Segment)
+                    and payload.events is None) and when < t_stop:
+                t_stop = when
+        spans: List[tuple] = []
+        keep: List[tuple] = []
+        for entry in heap:
+            payload = entry[2]
+            if not (isinstance(payload, Segment)
+                    and payload.events is None):
+                keep.append(entry)
+                continue
+            whens = payload.whens
+            s = payload.start
+            tail = whens[s:]
+            stop = s + min(
+                int(np.searchsorted(tail, t_stop, side="left")),
+                int(np.searchsorted(tail, limit, side="right")))
+            if stop > s:
+                spans.append((whens[s:stop], payload.keys[s:stop],
+                              payload.cohort))
+                payload.start = stop
+            if len(payload):
+                keep.append((payload.head_when, payload.head_key, payload))
+        if not spans:
+            return None
+        heap[:] = keep
+        heapq.heapify(heap)
+        return spans
+
+    def pop_cohort(self) -> Tuple[float, List[tuple]]:
+        """Remove every entry at the minimum timestamp.
+
+        Returns ``(t, parts)``; each part is either
+        ``("one", key, event)`` for a singleton or
+        ``("run", keys, events, segment)`` for a segment prefix
+        (``events`` is None for logical cohorts).  Partially consumed
+        segments are re-armed at their new head.
+        """
+        heap = self._heap
+        t = heap[0][0]
+        parts: List[tuple] = []
+        while heap and heap[0][0] == t:
+            _, key, payload = heapq.heappop(heap)
+            if isinstance(payload, Segment):
+                keys, events = payload.take_run(t)
+                parts.append(("run", keys, events, payload))
+                if len(payload):
+                    heapq.heappush(
+                        heap,
+                        (payload.head_when, payload.head_key, payload))
+            else:
+                parts.append(("one", key, payload))
+        return t, parts

@@ -121,13 +121,21 @@ class ArrayLRU:
         return len(members)
 
     def popleft(self, k: int) -> np.ndarray:
-        """Remove and return the *k* least-recently-used keys, LRU first."""
+        """Remove and return the *k* least-recently-used keys, LRU first.
+
+        The stale-skipping scan grows its window geometrically from
+        ``max(_SCAN_CHUNK, 2k)``: a mostly-live log resolves in one
+        vectorized pass, and a heavily stranded log (eviction churn)
+        costs O(log stale-run) passes instead of one pass per 1024
+        entries.
+        """
         k = min(int(k), self._size)
         out = np.empty(k, dtype=np.int64)
         got = 0
         head = self._head
+        window = max(_SCAN_CHUNK, 2 * k)
         while got < k:
-            end = min(self._len, head + _SCAN_CHUNK)
+            end = min(self._len, head + window)
             chunk = self._log[head:end]
             valid_idx = np.nonzero(
                 self._pos[chunk] == np.arange(head, end))[0]
@@ -138,6 +146,7 @@ class ArrayLRU:
                 head += int(valid_idx[take - 1]) + 1
             else:
                 head = end
+            window *= 2
         self._head = head
         self._pos[out] = -1
         self._size -= k

@@ -9,10 +9,12 @@ lists, never feature data).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Iterable, Optional
+
+import numpy as np
 
 from repro.errors import SimulationError
-from repro.simcore.engine import Event, Simulator
+from repro.simcore.engine import NORMAL, Event, Simulator
 
 
 class Resource:
@@ -116,6 +118,48 @@ class Store:
         else:
             self._putters.append((ev, item))
         return ev
+
+    def put_many(self, items: Iterable[Any]) -> list:
+        """Enqueue *items* in order with one call; returns their events.
+
+        Trace-digest-identical to ``[self.put(it) for it in items]``:
+        while consumers are blocked the hand-offs interleave getter,
+        putter, getter, putter …; the remaining accepted items are then
+        batch-scheduled with consecutive sequence numbers — exactly the
+        stream N sequential ``put`` calls produce, at one engine call.
+        Items past capacity park as blocked putters (events pending).
+        """
+        items = list(items)
+        evs: list = []
+        i = 0
+        while i < len(items) and self._getters:
+            evs.append(self.put(items[i]))
+            i += 1
+        rest = items[i:]
+        if not rest:
+            return evs
+        room = self.capacity - len(self.items)
+        k = len(rest) if room >= len(rest) else max(0, int(room))
+        accepted, blocked = rest[:k], rest[k:]
+        if accepted:
+            batch = [Event(self.sim) for _ in accepted]
+            scheduler = getattr(self.sim, "_schedule_batch", None)
+            if scheduler is not None and len(batch) > 1:
+                for ev in batch:
+                    ev._ok = True
+                    ev._value = None
+                scheduler(batch, NORMAL,
+                          np.zeros(len(batch), dtype=np.float64))
+            else:
+                for ev in batch:
+                    ev.succeed(None)
+            self.items.extend(accepted)
+            evs.extend(batch)
+        for item in blocked:
+            ev = Event(self.sim)
+            self._putters.append((ev, item))
+            evs.append(ev)
+        return evs
 
     def get(self) -> Event:
         """Dequeue an item; the returned event's value is the item."""

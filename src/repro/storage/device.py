@@ -117,6 +117,29 @@ class SSDDevice:
 
         now = self.sim.now
         svc = self.spec.read_latency + sizes / self.spec.channel_bandwidth
+
+        # Vectorized fast path: a uniform batch with all requests ready
+        # now, no fault multipliers, and a non-binding submission window
+        # reduces the c-server queue to c arithmetic chains (proof in
+        # docs/architecture.md §3.2); bit-exact vs the heap loop below.
+        if (start_times is None and self.faults is None and n >= 32
+                and (io_depth is None or io_depth >= self.spec.channels
+                     or io_depth == 1)
+                and sizes[0] > 0 and not (sizes != sizes[0]).any()):
+            if io_depth == 1 and self.spec.channels > 1:
+                done = self._complete_serial(n, float(svc[0]))
+            else:
+                done = self._complete_uniform(n, float(svc[0]))
+            if done is not None:
+                if write:
+                    self.bytes_written += int(sizes.sum())
+                    self.write_requests += n
+                else:
+                    self.bytes_read += int(sizes.sum())
+                    self.requests += n
+                    self.account_read(tag, int(sizes.sum()))
+                return done
+
         done = np.empty(n, dtype=np.float64)
         free_at = self._free_at  # heap, mutated in place
 
@@ -154,6 +177,78 @@ class SSDDevice:
             self.bytes_read += int(sizes.sum())
             self.requests += n
             self.account_read(tag, int(sizes.sum()))
+        return done
+
+    def _complete_uniform(self, n: int, s: float) -> Optional[np.ndarray]:
+        """Completion times for *n* uniform requests of service time *s*.
+
+        With every request ready now and service times equal, the greedy
+        earliest-free-channel assignment pops, in nondecreasing order,
+        the n smallest elements of c arithmetic chains ``F_j + k*s``
+        (``F_j`` = channel j's free time clipped to now).  Each chain is
+        built by ``np.add.accumulate`` — sequential repeated addition,
+        so every float matches the heap loop bit for bit; a request's
+        completion is its popped chain element plus ``s`` (the next
+        element of the same chain).
+
+        Returns None when the per-channel free times are spread wider
+        than the generated chain length covers (caller falls back to the
+        heap loop).
+        """
+        c = self.spec.channels
+        F = np.maximum(np.array(self._free_at, dtype=np.float64),
+                       self.sim.now)
+        F.sort()
+        rows = n // c + 2
+        mat = np.empty((rows + 1, c), dtype=np.float64)
+        mat[0] = F
+        mat[1:] = s
+        cum = np.add.accumulate(mat, axis=0)
+        # Finish candidates: chain elements from row 1 up (row k of cum
+        # is F + k×s accumulated; a request popping F_j + (k-1)s
+        # finishes at F_j + ks).
+        cand = cum[1:].ravel()
+        order = np.argsort(cand, kind="stable")
+        take = order[:n]
+        # Enough rows?  Any un-generated finish is > its column's last
+        # generated row, hence > min(cum[-1]).
+        if cand[take[-1]] > float(cum[-1].min()):
+            return None
+        done = cand[take]
+        # Restore per-channel state: column j served counts[j] requests,
+        # leaving its chain head at row counts[j].
+        counts = np.bincount(take % c, minlength=c)
+        self._free_at = cum[counts, np.arange(c)].tolist()
+        heapq.heapify(self._free_at)
+        # busy_time via the same sequential accumulation the loop does.
+        acc = np.empty(n + 1, dtype=np.float64)
+        acc[0] = self.busy_time
+        acc[1:] = s
+        self.busy_time = float(np.add.accumulate(acc)[-1])
+        return done
+
+    def _complete_serial(self, n: int, s: float) -> np.ndarray:
+        """Completion times for *n* uniform requests at ``io_depth=1``.
+
+        Depth 1 serialises the batch: request *i* may not start before
+        request *i-1* completes, and the earliest-free channel is always
+        free by then (the heap min never exceeds the last completion),
+        so ``done[i] = done[i-1] + s`` with ``done[0]`` anchored at the
+        earliest-free channel — sequential accumulation, bit-exact vs
+        the heap loop.
+        """
+        acc = np.empty(n + 1, dtype=np.float64)
+        acc[0] = max(min(self._free_at), self.sim.now)
+        acc[1:] = s
+        done = np.add.accumulate(acc)[1:]
+        # The n pops removed the n smallest of {channel frees ∪ pushed
+        # finishes}; the c largest of that union survive as the heap.
+        pool = np.concatenate([np.asarray(self._free_at,
+                                          dtype=np.float64), done])
+        self._free_at = np.partition(pool, n)[n:].tolist()
+        heapq.heapify(self._free_at)
+        acc[0] = self.busy_time
+        self.busy_time = float(np.add.accumulate(acc)[-1])
         return done
 
     # ------------------------------------------------------------------

@@ -189,7 +189,15 @@ class PageCache:
 
     def _evict_keys(self, keys: np.ndarray) -> None:
         """Clear per-file residency bits for evicted LRU keys."""
+        if len(keys) == 0:
+            return
         fids = self._key_fid[keys]
+        if not (fids != fids[0]).any():
+            # Single-file eviction run (the common churn shape): no
+            # per-file grouping pass needed.
+            state = self._file_list[fids[0]]
+            state.resident[self._key_page[keys]] = False
+            return
         for fid in np.unique(fids):
             state = self._file_list[fid]
             state.resident[self._key_page[keys[fids == fid]]] = False
