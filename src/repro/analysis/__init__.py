@@ -19,10 +19,25 @@ that enforce the disciplines those results rest on:
   detects pinned-memory leaks by tag at epoch boundaries, and runs
   structural invariant checks on registered data structures
   (``PageCache``, ``FeatureBuffer``, queues, rings).
+
+* :mod:`repro.analysis.races` — an interprocedural **static race
+  analysis** (RACE201-RACE206) over process generators: per-segment
+  shared-state access maps between yields, flagging intra-cohort
+  write-write / read-write pairs with no distinguishing priority.
+  Rides the linter's reporting machinery; annotate deliberate
+  orderings with ``# sim-race: ordered -- why``.
+
+* :mod:`repro.analysis.dynraces` — :class:`RaceDetector`, the
+  **runtime prong**: per-method access recording on registered shared
+  objects keyed by cohort, plus a wait-for graph over ``Store`` /
+  ``Resource`` blocking that dumps deadlock cycles.  Armed via
+  ``MachineSpec(sanitize=True, sanitize_races=True)``; observer-only,
+  so trace digests are bit-identical either way.
 """
 
 from repro.analysis.linter import (
     Finding,
+    PROFILES,
     RULES,
     lint_file,
     lint_paths,
@@ -30,11 +45,20 @@ from repro.analysis.linter import (
     render_json,
     render_text,
 )
+from repro.analysis.races import RACE_RULES, analyze_modules, analyze_paths
+from repro.analysis.dynraces import DEFAULT_WAIVERS, RaceDetector, RaceEvent
 from repro.analysis.sanitizer import SanitizerFinding, SimSanitizer
 
 __all__ = [
     "Finding",
+    "PROFILES",
     "RULES",
+    "RACE_RULES",
+    "analyze_modules",
+    "analyze_paths",
+    "DEFAULT_WAIVERS",
+    "RaceDetector",
+    "RaceEvent",
     "lint_file",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,475 @@
+"""Runtime intra-cohort race detector and wait-for deadlock monitor.
+
+The dynamic half of :mod:`repro.analysis.races`: where the static pass
+over-approximates (any segment of P may coincide with any segment of
+Q), this detector observes the *actual* cohorts of a run.  Enable it
+with ``MachineSpec(sanitize=True, sanitize_races=True)`` (or
+``SimSanitizer.enable_races()``); it is entirely observational — it
+never schedules events, draws randomness, or mutates watched objects —
+so the trace digest of a run is bit-identical with the detector on or
+off (``python -m repro.bench races`` asserts exactly this).
+
+Access recording
+----------------
+
+:meth:`RaceDetector.watch` wraps the classified methods of a shared
+object (the :data:`repro.analysis.races.KIND_METHODS` tables) with
+per-instance recorders.  Every call is keyed
+``(timestamp, cohort_id, process, object, field, r/w)``; when the clock
+advances, the finished cohort is scanned for pairs of accesses from
+*different* processes to the *same* object with at least one write.
+Each conflict is reported once per (object, fields, process pair) with
+both call stacks and the access order that the seq-pinned cohort
+dispatch actually resolved — i.e. who won the race this run.
+
+Conflicts matching the :data:`DEFAULT_WAIVERS` table (slot-disjoint
+FeatureBuffer traffic, commutative accounting, seq-pinned LRU updates —
+each entry carries its justification) are counted separately and do not
+fail the ``bench races`` gate; everything else does.
+
+Deadlock monitoring
+-------------------
+
+``Store.put``/``Store.get``/``Resource.request`` notify the detector
+when they hand out a *pending* event; the completion callback clears
+the wait.  From the resulting wait-for graph, :meth:`wait_cycles`
+computes the maximal *stuck group*: the set of blocked processes none
+of whose candidate unblockers (current resource holders, known
+producers/consumers of the store) can ever run again.  The engine's
+``deadlock: processes still alive`` error is extended with the full
+cycle dump when the detector is attached.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from types import FrameType
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.races import KIND_METHODS
+
+#: (kind, field_a, field_b) -> justification.  ``"*"`` matches any
+#: field.  Pairs are symmetric.  Every entry must say *why* the cohort
+#: order is pinned or immaterial — these mirror the ``sim-race:
+#: ordered`` annotations the static pass carries in the source.
+DEFAULT_WAIVERS: Dict[Tuple[str, str, str], str] = {
+    ("FeatureBuffer", "*", "*"):
+        "slot protocol: FIFO queue handoff assigns disjoint slot sets "
+        "per batch; trainer/releaser touch only finished batches "
+        "(digest-verified)",
+    ("PageCache", "*", "*"):
+        "intra-cohort LRU/counter updates are seq-pinned and "
+        "digest-verified; residency is monotone within a cohort",
+    ("StagingBuffer", "*", "*"):
+        "capacity accounting is commutative; grant order is FIFO-"
+        "pinned by the seq-ordered waiter queue",
+    ("HostMemory", "*", "*"):
+        "pinned-byte accounting is commutative; boundary-timestamp "
+        "allocation failures are retried by the backoff ladder",
+    ("SSDDevice", "*", "*"):
+        "device queueing within a cohort is seq-pinned FCFS and "
+        "digest-verified",
+}
+
+_STACK_DEPTH = 6
+
+
+def _capture_stack(skip: int = 3) -> Tuple[str, ...]:
+    """A short ``file:line fn`` stack above the recorder wrapper."""
+    frames: List[str] = []
+    try:
+        frame: Optional[FrameType] = sys._getframe(skip)
+    except ValueError:
+        return ()
+    while frame is not None and len(frames) < _STACK_DEPTH:
+        code = frame.f_code
+        frames.append(
+            f"{code.co_filename}:{frame.f_lineno} in {code.co_name}")
+        frame = frame.f_back
+    return tuple(frames)
+
+
+@dataclass(frozen=True)
+class RaceEvent:
+    """One observed intra-cohort conflict (first occurrence)."""
+
+    time: float
+    cohort: int
+    obj: str
+    kind: str
+    proc_a: str
+    field_a: str
+    mode_a: str
+    order_a: int
+    stack_a: Tuple[str, ...]
+    proc_b: str
+    field_b: str
+    mode_b: str
+    order_b: int
+    stack_b: Tuple[str, ...]
+    waived_by: str = ""
+
+    def render(self) -> str:
+        first, second = ((self.proc_a, self.field_a, self.order_a),
+                         (self.proc_b, self.field_b, self.order_b))
+        if second[2] < first[2]:
+            first, second = second, first
+        lines = [
+            f"[race] t={self.time:.9g} cohort={self.cohort} "
+            f"{self.kind} {self.obj!r}: {self.proc_a}.{self.field_a} "
+            f"({self.mode_a}) vs. {self.proc_b}.{self.field_b} "
+            f"({self.mode_b})",
+            f"  seq order resolved: {first[0]}.{first[1]} (access "
+            f"#{first[2]}) before {second[0]}.{second[1]} (access "
+            f"#{second[2]})",
+        ]
+        if self.waived_by:
+            lines.append(f"  waived: {self.waived_by}")
+        for label, stack in (("a", self.stack_a), ("b", self.stack_b)):
+            lines.append(f"  stack {label}:")
+            lines.extend(f"    {fr}" for fr in stack)
+        return "\n".join(lines)
+
+
+@dataclass
+class _Wait:
+    """One process blocked on a synchronisation primitive."""
+
+    proc: str
+    label: str
+    op: str           # 'get' | 'put' | 'request' | 'offer'
+    since: float
+    stack: Tuple[str, ...] = ()
+
+
+#: One recorded access: (order, proc, field, mode, stack).
+_AccessRec = Tuple[int, str, str, str, Tuple[str, ...]]
+
+
+class RaceDetector:
+    """Observe one simulation for intra-cohort races and deadlocks.
+
+    Create via :meth:`repro.analysis.sanitizer.SimSanitizer.enable_races`
+    (which wires :meth:`watch` into ``register()``), or standalone with
+    a ``Simulator`` for unit tests.
+    """
+
+    def __init__(self, sim: Any, stacks: bool = True,
+                 waivers: Optional[Dict[Tuple[str, str, str], str]] = None) -> None:
+        self.sim = sim
+        self.stacks = stacks
+        self.waivers = dict(DEFAULT_WAIVERS if waivers is None else waivers)
+        #: Unique conflicts in observation order (waived ones included,
+        #: marked); bounded by the dedup key set.
+        self.conflicts: List[RaceEvent] = []
+        self.waived_counts: Dict[str, int] = {}
+        self.accesses_recorded = 0
+        self.objects_watched = 0
+        self._seen_pairs: Set[Tuple[str, str, str, str, str]] = set()
+        # Current-cohort state, flushed when the clock advances.
+        self._cur_t: float = float("-inf")
+        self._cur_cohort: int = -1
+        self._order = 0
+        self._cohort_log: Dict[str, List[_AccessRec]] = {}
+        self._obj_kinds: Dict[str, str] = {}
+        # Object labelling (id() used only as an identity key).
+        self._labels: Dict[int, str] = {}
+        self._label_counts: Dict[str, int] = {}
+        # Wait-for state.
+        self._blocked: Dict[str, _Wait] = {}
+        self._holders: Dict[str, List[str]] = {}
+        self._producers: Dict[str, Set[str]] = {}
+        self._consumers: Dict[str, Set[str]] = {}
+        self.deadlocks_reported = 0
+
+    # ------------------------------------------------------------------
+    # Labelling
+    # ------------------------------------------------------------------
+    def _label(self, obj: Any) -> str:
+        key = id(obj)
+        label = self._labels.get(key)
+        if label is None:
+            base = (f"{type(obj).__name__}"
+                    f"({getattr(obj, 'name', '') or 'anon'})")
+            n = self._label_counts.get(base, 0)
+            self._label_counts[base] = n + 1
+            label = base if n == 0 else f"{base}#{n}"
+            self._labels[key] = label
+        return label
+
+    def _proc_name(self) -> str:
+        proc = getattr(self.sim, "active_process", None)
+        return proc.name if proc is not None else "<main>"
+
+    # ------------------------------------------------------------------
+    # Access recording
+    # ------------------------------------------------------------------
+    def watch(self, obj: Any) -> bool:
+        """Wrap *obj*'s classified methods with access recorders.
+
+        Returns False (and does nothing) for kinds the access tables do
+        not cover, or for Store/Resource (their endpoints are sanctioned
+        sync operations, instrumented for the wait-for graph instead).
+        """
+        kind = type(obj).__name__
+        table = KIND_METHODS.get(kind)
+        if table is None or kind in ("Store", "Resource"):
+            return False
+        label = self._label(obj)
+        self._obj_kinds[label] = kind
+        wrapped = False
+        for name, mode in table.items():
+            if mode == "sync":
+                continue
+            orig = getattr(obj, name, None)
+            if not callable(orig) or not hasattr(type(obj), name):
+                continue  # property or absent on this version
+            setattr(obj, name, self._recorder(label, name, mode, orig))
+            wrapped = True
+        if wrapped:
+            self.objects_watched += 1
+        return wrapped
+
+    def _recorder(self, label: str, name: str, mode: str,
+                  orig: Callable[..., Any]) -> Callable[..., Any]:
+        def recorded(*args: Any, **kwargs: Any) -> Any:
+            self.record(label, name, mode)
+            return orig(*args, **kwargs)
+
+        recorded.__name__ = name
+        return recorded
+
+    def record(self, label: str, fieldname: str, mode: str) -> None:
+        """Record one access of *label* by the active process."""
+        now = self.sim.now
+        # The engine dispatches all events at one float timestamp as one
+        # cohort, so identical bits mean "same cohort" by construction.
+        # sim-lint: disable=DET104 -- cohort boundary IS exact equality
+        if now != self._cur_t:
+            self._flush_cohort()
+            self._cur_t = now
+            self._cur_cohort = getattr(self.sim, "cohorts_dispatched", 0)
+        self.accesses_recorded += 1
+        self._order += 1
+        proc = self._proc_name()
+        if proc == "<main>":
+            # Main-thread code (setup, epoch-boundary sweeps, report
+            # readers) only ever runs while the engine is parked between
+            # drains — it shares timestamps with the cohort that just
+            # retired but can never interleave with process code, so it
+            # cannot race by construction.
+            return
+        stack = _capture_stack() if self.stacks else ()
+        self._cohort_log.setdefault(label, []).append(
+            (self._order, proc, fieldname, mode, stack))
+
+    def _flush_cohort(self) -> None:
+        """Scan the finished cohort's access log for conflicts."""
+        for label, recs in self._cohort_log.items():
+            if len(recs) < 2:
+                continue
+            procs = {r[1] for r in recs}
+            if len(procs) < 2:
+                continue
+            if not any(r[3] == "w" for r in recs):
+                continue
+            self._scan_object(label, recs)
+        self._cohort_log.clear()
+
+    def _scan_object(self, label: str, recs: List[_AccessRec]) -> None:
+        kind = self._obj_kinds.get(label, "?")
+        for i, a in enumerate(recs):
+            for b in recs[i + 1:]:
+                if a[1] == b[1]:
+                    continue  # same process
+                if a[3] != "w" and b[3] != "w":
+                    continue  # read-read
+                pair_key = (label, a[1], a[3] + ":" + a[2],
+                            b[1], b[3] + ":" + b[2])
+                if pair_key in self._seen_pairs:
+                    continue
+                self._seen_pairs.add(pair_key)
+                reason = self._waiver(kind, a[2], b[2])
+                ev = RaceEvent(
+                    time=self._cur_t, cohort=self._cur_cohort,
+                    obj=label, kind=kind,
+                    proc_a=a[1], field_a=a[2], mode_a=a[3],
+                    order_a=a[0], stack_a=a[4],
+                    proc_b=b[1], field_b=b[2], mode_b=b[3],
+                    order_b=b[0], stack_b=b[4],
+                    waived_by=reason or "")
+                self.conflicts.append(ev)
+                if reason:
+                    self.waived_counts[reason] = (
+                        self.waived_counts.get(reason, 0) + 1)
+
+    def _waiver(self, kind: str, fa: str, fb: str) -> Optional[str]:
+        for key in ((kind, fa, fb), (kind, fb, fa),
+                    (kind, fa, "*"), (kind, fb, "*"), (kind, "*", "*")):
+            if key in self.waivers:
+                return self.waivers[key]
+        return None
+
+    def finalize(self) -> None:
+        """Flush the trailing cohort (call after the run completes)."""
+        self._flush_cohort()
+
+    @property
+    def unwaived(self) -> List[RaceEvent]:
+        return [c for c in self.conflicts if not c.waived_by]
+
+    # ------------------------------------------------------------------
+    # Wait-for graph (fed by Store / Resource hooks)
+    # ------------------------------------------------------------------
+    def on_acquire(self, primitive: Any) -> None:
+        """A unit of *primitive* was granted to the active process."""
+        label = self._label(primitive)
+        self._holders.setdefault(label, []).append(self._proc_name())
+
+    def on_release(self, primitive: Any) -> None:
+        label = self._label(primitive)
+        holders = self._holders.get(label)
+        if not holders:
+            return
+        proc = self._proc_name()
+        if proc in holders:
+            holders.remove(proc)
+        else:
+            holders.pop(0)
+
+    def on_endpoint(self, primitive: Any, op: str) -> None:
+        """A non-blocking store endpoint use: records producer/consumer."""
+        label = self._label(primitive)
+        proc = self._proc_name()
+        if op in ("put", "offer"):
+            self._producers.setdefault(label, set()).add(proc)
+        else:
+            self._consumers.setdefault(label, set()).add(proc)
+
+    def on_block(self, primitive: Any, op: str, ev: Any) -> None:
+        """The active process received a *pending* event from *op*.
+
+        A completion callback clears the wait (callbacks run at dispatch
+        and never schedule, so attaching one is trace-invariant).
+        """
+        self.on_endpoint(primitive, op)
+        proc = self._proc_name()
+        if proc == "<main>":
+            return  # driver code outside the sim never truly blocks
+        label = self._label(primitive)
+        wait = _Wait(proc=proc, label=label, op=op, since=self.sim.now,
+                     stack=_capture_stack() if self.stacks else ())
+        self._blocked[proc] = wait
+
+        def _cleared(_: Any) -> None:
+            current = self._blocked.get(proc)
+            if current is wait:
+                del self._blocked[proc]
+            if op == "request":
+                self._holders.setdefault(label, []).append(proc)
+
+        if ev.callbacks is not None:
+            ev.callbacks.append(_cleared)
+
+    # ------------------------------------------------------------------
+    # Deadlock analysis
+    # ------------------------------------------------------------------
+    def _unblockers(self, wait: _Wait) -> Set[str]:
+        if wait.op == "request":
+            return set(self._holders.get(wait.label, ()))
+        if wait.op in ("put", "offer"):
+            return (self._consumers.get(wait.label, set())
+                    - {wait.proc})
+        return self._producers.get(wait.label, set()) - {wait.proc}
+
+    def wait_cycles(self, drained: bool = False
+                    ) -> List[List[Dict[str, Any]]]:
+        """Stuck groups: blocked processes with no live unblocker.
+
+        Fixpoint: a blocked process escapes the stuck set if any of its
+        candidate unblockers is not itself stuck (including ``<main>``
+        and processes that are simply runnable).  What remains is a
+        genuine wait-for cycle; returned as one dump per group.
+
+        A process with *no* recorded unblocker (nobody ever produced on
+        its queue / held its resource) escapes too — mid-run, a future
+        producer may still appear.  With *drained* (the engine found
+        the schedule empty) nothing can ever appear, so such processes
+        count as stuck.
+        """
+        stuck: Set[str] = set(self._blocked)
+        changed = True
+        while changed:
+            changed = False
+            for proc in sorted(stuck):
+                helpers = self._unblockers(self._blocked[proc])
+                no_helper_escape = not helpers and not drained
+                if no_helper_escape or any(h not in stuck for h in helpers):
+                    stuck.discard(proc)
+                    changed = True
+        if not stuck:
+            return []
+        group = []
+        for proc in sorted(stuck):
+            wait = self._blocked[proc]
+            group.append({
+                "process": proc,
+                "waiting_on": wait.label,
+                "op": wait.op,
+                "since": wait.since,
+                "holders": list(self._holders.get(wait.label, ())),
+                "stack": list(wait.stack),
+            })
+        self.deadlocks_reported = len(group)
+        return [group]
+
+    def deadlock_dump(self, drained: bool = False) -> str:
+        """Human-readable cycle dump ('' when no stuck group exists)."""
+        cycles = self.wait_cycles(drained=drained)
+        if not cycles:
+            return ""
+        lines = ["wait-for cycle detected by the race detector:"]
+        for group in cycles:
+            for entry in group:
+                lines.append(
+                    f"  {entry['process']} --{entry['op']}--> "
+                    f"{entry['waiting_on']} (since t={entry['since']:.9g}"
+                    f", holders={entry['holders']})")
+                for fr in entry["stack"]:
+                    lines.append(f"      {fr}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report_dict(self) -> Dict[str, Any]:
+        self.finalize()
+        return {
+            "accesses_recorded": self.accesses_recorded,
+            "objects_watched": self.objects_watched,
+            "conflicts": len(self.conflicts),
+            "unwaived": len(self.unwaived),
+            "waived": dict(sorted(self.waived_counts.items())),
+            "blocked_now": len(self._blocked),
+            "deadlock_groups": self.wait_cycles(),
+        }
+
+    def report(self) -> str:
+        d = self.report_dict()
+        lines = [
+            f"RaceDetector: {d['accesses_recorded']} access(es) on "
+            f"{d['objects_watched']} object(s), {d['conflicts']} "
+            f"conflict(s) ({d['unwaived']} unwaived)",
+        ]
+        for ev in self.unwaived:
+            lines.append(ev.render())
+        for reason, n in d["waived"].items():
+            lines.append(f"  waived x{n}: {reason}")
+        dump = self.deadlock_dump()
+        if dump:
+            lines.append(dump)
+        return "\n".join(lines)
+
+
+__all__ = ["DEFAULT_WAIVERS", "RaceDetector", "RaceEvent"]

@@ -38,7 +38,17 @@ DET107    A process generator (name ending ``_proc`` or passed to
           event (literal, tuple, comparison, f-string, bare ``yield``):
           the engine would throw ``SimulationError`` at runtime; catch
           it at lint time where decidable.
+DET108    An ordering decision (``sorted``/``.sort``/``min``/``max``
+          key, ``heapq`` entry, or a ``<``/``>`` comparison) derived
+          from ``id(obj)`` or ``hash(obj)``: CPython ``id``s are
+          allocation addresses and object hashes may be randomised, so
+          any tie-break built on them differs between runs.
 ========  ==============================================================
+
+The ``RACE201``–``RACE206`` cohort-race family (see
+:mod:`repro.analysis.races`) rides on the same suppression and
+rendering machinery and is included by :func:`lint_paths` /
+``python -m repro.lint`` automatically.
 
 Suppression syntax
 ------------------
@@ -75,6 +85,7 @@ RULES: Dict[str, str] = {
     "DET105": "bare/broad except can swallow SimulationError",
     "DET106": "mutable default argument",
     "DET107": "process generator yields a statically non-event value",
+    "DET108": "ordering decision derived from id()/hash() tie-breaks",
 }
 
 #: Files (path suffixes, '/'-normalised) exempt from the RNG rule — the
@@ -106,6 +117,11 @@ _EVENT_CTORS = {"Event", "Timeout", "Process", "AllOf", "AnyOf", "Condition"}
 _TS_EXACT = {"now", "when", "deadline"}
 _TS_SUFFIXES = ("_time", "_times", "_until", "_at", "_deadline")
 _TS_PREFIXES = ("t_",)
+
+#: DET108 — ordering builtins and heapq entry points.
+_ORDERING_FNS = {"sorted", "min", "max"}
+_HEAPQ_FNS = {"heappush", "heappushpop", "heapreplace", "heapify",
+              "nlargest", "nsmallest", "merge"}
 
 _SUPPRESS_RE = re.compile(
     r"#\s*sim-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s*--.*)?$")
@@ -168,6 +184,8 @@ class _ImportTracker:
         self.random_aliases: Set[str] = set()     # import random [as r]
         self.numpy_aliases: Set[str] = set()      # import numpy [as np]
         self.datetime_aliases: Set[str] = set()   # datetime.datetime names
+        self.heapq_aliases: Set[str] = set()      # import heapq [as hq]
+        self.heapq_fn_names: Set[str] = set()     # from heapq import heappush
         #: from-imports of individual wall-clock / RNG functions.
         self.wallclock_names: Set[str] = set()    # from time import time
         self.global_rng_names: Set[str] = set()   # from random import random
@@ -190,6 +208,8 @@ class _ImportTracker:
                         self.numpy_aliases.add(name.split(".")[0])
                     elif alias.name == "datetime":
                         self.datetime_aliases.add(name)
+                    elif alias.name == "heapq":
+                        self.heapq_aliases.add(name)
             elif isinstance(node, ast.ImportFrom):
                 mod = node.module or ""
                 for alias in node.names:
@@ -207,6 +227,8 @@ class _ImportTracker:
                             self.global_rng_names.add(name)
                     elif mod == "datetime" and alias.name == "datetime":
                         self.datetime_aliases.add(name)
+                    elif mod == "heapq" and alias.name in _HEAPQ_FNS:
+                        self.heapq_fn_names.add(name)
 
 
 def _dotted(node: ast.AST) -> Optional[Tuple[str, ...]]:
@@ -296,7 +318,7 @@ _NON_EVENT_YIELDS = (ast.Constant, ast.Tuple, ast.List, ast.Dict, ast.Set,
 
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, imports: _ImportTracker,
-                 process_fns: Set[str], rng_exempt: bool):
+                 process_fns: Set[str], rng_exempt: bool) -> None:
         self.path = path
         self.imports = imports
         self.process_fns = process_fns
@@ -331,7 +353,43 @@ class _Linter(ast.NodeVisitor):
             # DET102 -- global / unseeded RNG.
             if not self.rng_exempt:
                 self._check_rng(node, dotted)
+        self._check_id_ordering(node)
         self.generic_visit(node)
+
+    # -- DET108: id()/hash() feeding ordering decisions ----------------
+    def _check_id_ordering(self, node: ast.Call) -> None:
+        fn = node.func
+        imp = self.imports
+        is_ordering = False
+        what = ""
+        if isinstance(fn, ast.Name):
+            if fn.id in _ORDERING_FNS or fn.id in imp.heapq_fn_names:
+                is_ordering = True
+                what = f"{fn.id}()"
+        elif isinstance(fn, ast.Attribute):
+            if fn.attr == "sort":
+                is_ordering = True
+                what = ".sort()"
+            elif (fn.attr in _HEAPQ_FNS
+                  and isinstance(fn.value, ast.Name)
+                  and fn.value.id in imp.heapq_aliases):
+                is_ordering = True
+                what = f"{fn.value.id}.{fn.attr}()"
+        if not is_ordering:
+            return
+        exprs = list(node.args) + [kw.value for kw in node.keywords]
+        tiebreak = _find_id_hash_call(exprs)
+        if tiebreak is None:
+            # ``key=id`` / ``key=hash`` pass the builtin uncalled.
+            for expr in exprs:
+                if isinstance(expr, ast.Name) and expr.id in ("id", "hash"):
+                    tiebreak = expr.id
+                    break
+        if tiebreak is not None:
+            self._add(node, "DET108",
+                      f"{what} orders by {tiebreak}; CPython ids/object "
+                      "hashes differ between runs — use a stable "
+                      "sequence number or explicit key instead")
 
     def _check_rng(self, node: ast.Call, dotted: Tuple[str, ...]) -> None:
         imp = self.imports
@@ -375,7 +433,7 @@ class _Linter(ast.NodeVisitor):
                           "— sort or use an ordered container")
         self.generic_visit(node)
 
-    def _check_comp(self, node) -> None:
+    def _check_comp(self, node: ast.AST) -> None:
         for gen in node.generators:
             desc = _is_set_expr(gen.iter, self.imports)
             if desc:
@@ -395,6 +453,15 @@ class _Linter(ast.NodeVisitor):
 
     # -- DET104: float equality on timestamps --------------------------
     def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Lt, ast.Gt, ast.LtE, ast.GtE))
+               for op in node.ops):
+            tiebreak = _find_id_hash_call(
+                [node.left] + list(node.comparators), top_only=True)
+            if tiebreak is not None:
+                self._add(node, "DET108",
+                          f"ordering comparison on {tiebreak}; CPython "
+                          "ids/object hashes differ between runs — use "
+                          "a stable sequence number instead")
         if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
             for side in [node.left] + list(node.comparators):
                 # `x.completion_time == SENTINEL` style None/int checks
@@ -436,7 +503,7 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- DET106: mutable defaults --------------------------------------
-    def _check_defaults(self, node) -> None:
+    def _check_defaults(self, node: ast.AST) -> None:
         args = node.args
         for default in list(args.defaults) + [d for d in args.kw_defaults
                                               if d is not None]:
@@ -454,7 +521,7 @@ class _Linter(ast.NodeVisitor):
                           f"{node.name}(); use None and create inside")
 
     # -- DET107: non-event yields in process generators ----------------
-    def _visit_func(self, node) -> None:
+    def _visit_func(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
         if node.name in self.process_fns:
             for sub in _walk_skip_nested(node):
@@ -478,7 +545,28 @@ class _Linter(ast.NodeVisitor):
     visit_AsyncFunctionDef = _visit_func
 
 
-def _walk_skip_nested(func_node: ast.AST):
+def _find_id_hash_call(exprs: Iterable[ast.AST],
+                       top_only: bool = False) -> Optional[str]:
+    """First ``id(...)``/``hash(...)`` call within *exprs*, rendered.
+
+    With *top_only*, only the expressions themselves are inspected (for
+    comparisons); otherwise the search descends into key lambdas and
+    tuple entries.
+    """
+    for expr in exprs:
+        candidates = [expr] if top_only else list(ast.walk(expr))
+        for node in candidates:
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("id", "hash") and node.args):
+                arg = node.args[0]
+                inner = (arg.id if isinstance(arg, ast.Name)
+                         else type(arg).__name__.lower())
+                return f"{node.func.id}({inner})"
+    return None
+
+
+def _walk_skip_nested(func_node: ast.AST) -> Iterable[ast.AST]:
     """Walk a function body without descending into nested defs/lambdas
     (their yields belong to a different generator)."""
     stack = list(ast.iter_child_nodes(func_node))
@@ -539,7 +627,7 @@ def lint_source(source: str, path: str = "<string>",
     return out
 
 
-def lint_file(path, keep_suppressed: bool = False) -> List[Finding]:
+def lint_file(path: object, keep_suppressed: bool = False) -> List[Finding]:
     p = Path(path)
     return lint_source(p.read_text(encoding="utf-8"), str(p),
                        keep_suppressed=keep_suppressed)
@@ -556,13 +644,40 @@ def iter_python_files(paths: Sequence) -> List[Path]:
     return files
 
 
-def lint_paths(paths: Sequence, keep_suppressed: bool = False
-               ) -> Tuple[List[Finding], int]:
-    """Lint files/directories; returns (findings, files scanned)."""
+#: Named rule profiles: preset ``--ignore`` sets for non-product code.
+#: ``bench`` relaxes the wall-clock rule (benchmark harnesses time
+#: things); ``tests`` relaxes exact-float asserts on hand-built integral
+#: schedules and the cohort-race family (test fixtures build deliberate
+#: races and single-shot mini-sims).
+PROFILES: Dict[str, frozenset] = {
+    "default": frozenset(),
+    "bench": frozenset({"DET101"}),
+    "tests": frozenset({"DET104", "RACE201", "RACE202", "RACE203",
+                        "RACE204", "RACE205", "RACE206"}),
+}
+
+
+def lint_paths(paths: Sequence, keep_suppressed: bool = False,
+               races: bool = True) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns (findings, files scanned).
+
+    Runs the per-file DET pass and (unless *races* is false) the
+    whole-tree RACE analysis, which needs every module at once to
+    resolve cross-module helper chains and co-run scopes.
+    """
     files = iter_python_files(paths)
     findings: List[Finding] = []
+    sources: List[Tuple[str, str]] = []
     for f in files:
-        findings.extend(lint_file(f, keep_suppressed=keep_suppressed))
+        src = Path(f).read_text(encoding="utf-8")
+        sources.append((str(f), src))
+        findings.extend(lint_source(src, str(f),
+                                    keep_suppressed=keep_suppressed))
+    if races:
+        from repro.analysis.races import analyze_modules
+
+        findings.extend(analyze_modules(sources,
+                                        keep_suppressed=keep_suppressed))
     return findings, len(files)
 
 
@@ -600,32 +715,45 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="drop these rule codes")
     ap.add_argument("--no-suppress", action="store_true",
                     help="report suppressed findings too (marked)")
+    ap.add_argument("--profile", choices=sorted(PROFILES),
+                    default="default",
+                    help="named ignore preset: 'bench' relaxes wall-"
+                         "clock, 'tests' relaxes exact-float asserts "
+                         "and the race family (default: %(default)s)")
+    ap.add_argument("--no-races", action="store_true",
+                    help="skip the whole-tree RACE2xx analysis")
     ap.add_argument("--rules", action="store_true",
                     help="print the rule catalog and exit")
     args = ap.parse_args(argv)
 
+    from repro.analysis.races import RACE_RULES
+
+    catalog = {**RULES, **RACE_RULES}
     if args.rules:
-        for code in sorted(RULES):
-            print(f"{code}  {RULES[code]}")
+        for code in sorted(catalog):
+            print(f"{code}  {catalog[code]}")
         return 0
 
     for codes in (args.select, args.ignore):
         for c in codes or ():
-            if c.upper() not in RULES:
+            if c.upper() not in catalog:
                 print(f"unknown rule code {c!r}", file=sys.stderr)
                 return 2
 
     try:
         findings, n_files = lint_paths(args.paths,
-                                       keep_suppressed=args.no_suppress)
+                                       keep_suppressed=args.no_suppress,
+                                       races=not args.no_races)
     except (OSError, SyntaxError) as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
     if args.select:
         sel = {c.upper() for c in args.select}
         findings = [f for f in findings if f.code in sel]
+    ign = set(PROFILES[args.profile])
     if args.ignore:
-        ign = {c.upper() for c in args.ignore}
+        ign |= {c.upper() for c in args.ignore}
+    if ign:
         findings = [f for f in findings if f.code not in ign]
 
     if args.format == "json":

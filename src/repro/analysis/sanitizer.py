@@ -41,9 +41,12 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import SanitizerError
+
+if TYPE_CHECKING:
+    from repro.analysis.dynraces import RaceDetector
 
 _PRIORITIES = (0, 1)  # URGENT, NORMAL (mirrored to avoid an import cycle)
 
@@ -75,12 +78,15 @@ class SimSanitizer:
         in memory for replay diffs.  The rolling digest is always kept.
     """
 
-    def __init__(self, strict: bool = True, trace: bool = False):
+    def __init__(self, strict: bool = True, trace: bool = False) -> None:
         self.strict = strict
         self.keep_trace = trace
         self.findings: List[SanitizerFinding] = []
         self.machine = None
         self._registered: List[Any] = []
+        #: Optional runtime race detector (see :meth:`enable_races`);
+        #: the engine and resources check this via ``sanitizer.races``.
+        self.races = None
         #: Allocation tags allowed to change size across an epoch (e.g.
         #: fault-driven feature-buffer degradation); the leak check
         #: skips them.
@@ -102,7 +108,7 @@ class SimSanitizer:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def attach(self, machine) -> "SimSanitizer":
+    def attach(self, machine: Any) -> "SimSanitizer":
         """Wire into *machine*: engine hooks plus standard registrations
         (host memory, device memories, page cache)."""
         self.machine = machine
@@ -112,11 +118,45 @@ class SimSanitizer:
 
     def register(self, obj: Any) -> None:
         """Track *obj* (must expose ``check_invariants()``) for epoch-
-        boundary structural checks."""
+        boundary structural checks (and race watching when enabled)."""
         if not hasattr(obj, "check_invariants"):
             raise TypeError(f"{obj!r} has no check_invariants()")
         if obj not in self._registered:
             self._registered.append(obj)
+            if self.races is not None:
+                self.races.watch(obj)
+
+    def enable_races(self, sim: Any = None, stacks: bool = True,
+                     waivers: Optional[Dict[Tuple[str, str, str], str]]
+                     = None) -> "RaceDetector":
+        """Attach a :class:`~repro.analysis.dynraces.RaceDetector`.
+
+        Watches everything already registered and everything registered
+        afterwards; *sim* defaults to the attached machine's simulator.
+        Returns the detector.
+        """
+        from repro.analysis.dynraces import RaceDetector
+
+        if sim is None:
+            if self.machine is None:
+                raise ValueError("enable_races() needs a sim or an "
+                                 "attached machine")
+            sim = self.machine.sim
+        self.races = RaceDetector(sim, stacks=stacks, waivers=waivers)
+        for obj in self._registered:
+            self.races.watch(obj)
+        return self.races
+
+    def deadlock_dump(self, drained: bool = True) -> str:
+        """Wait-for cycle dump from the race detector ('' if off/clean).
+
+        Called from the engine's deadlock raise, where the schedule has
+        drained — so a blocked process with no recorded unblocker is
+        stuck too (*drained* defaults accordingly).
+        """
+        if self.races is None:
+            return ""
+        return self.races.deadlock_dump(drained=drained)
 
     def _record(self, kind: str, where: str, detail: str) -> None:
         finding = SanitizerFinding(kind, where, detail)
@@ -128,7 +168,7 @@ class SimSanitizer:
     # Engine hooks (called from Simulator._schedule / Simulator.step)
     # ------------------------------------------------------------------
     def on_schedule(self, now: float, when: float, priority: int,
-                    seq: int, event) -> None:
+                    seq: int, event: Any) -> None:
         """Audit one heap push."""
         # sim-lint: disable=DET104 -- self-inequality IS the NaN test
         if when != when or when in (float("inf"), float("-inf")):
@@ -142,8 +182,9 @@ class SimSanitizer:
             self._record("schedule", type(event).__name__,
                          f"unknown priority {priority!r} (seq {seq})")
 
-    def on_schedule_batch(self, now: float, whens, priority: int,
-                          seq0: int, events, kind: str = "Timeout") -> None:
+    def on_schedule_batch(self, now: float, whens: Any, priority: int,
+                          seq0: int, events: Any,
+                          kind: str = "Timeout") -> None:
         """Audit a batch arm (one calendar insert covering N entries).
 
         Reconstructs the exact per-entry audit stream ``N`` single
@@ -166,7 +207,7 @@ class SimSanitizer:
                 self._record("schedule", where,
                              f"unknown priority {priority!r} (seq {seq})")
 
-    def on_step(self, when: float, priority: int, seq: int, event) -> None:
+    def on_step(self, when: float, priority: int, seq: int, event: Any) -> None:
         """Digest one processed event and update the tie audit."""
         self.on_step_logical(when, priority, seq, type(event).__name__,
                              getattr(event, "name", ""))
@@ -202,7 +243,7 @@ class SimSanitizer:
     # ------------------------------------------------------------------
     # Async-ring audit (called from AsyncRing.submit)
     # ------------------------------------------------------------------
-    def check_ring(self, ring, done) -> None:
+    def check_ring(self, ring: Any, done: Any) -> None:
         """Completion-time sanity for one submission batch."""
         n = len(done)
         if n == 0:

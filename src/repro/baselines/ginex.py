@@ -329,12 +329,18 @@ class Ginex(TrainingSystem):
                 continue
 
             t0 = m.sim.now
+            # sim-race: ordered -- epoch procs are sequential (each is
+            # awaited before the next spawns) and pressure-edge alloc
+            # failures are retried by alloc_with_retry; both orders are
+            # valid executions.
             alloc, (initial, miss_lists, _) = yield from self._inspect(subs)
             yield from self._init_cache(initial)
             self._stage.extract += m.sim.now - t0
 
             for sub, misses in zip(subs, miss_lists):
                 t0 = m.sim.now
+                # sim-race: ordered -- epoch procs never co-run (each is
+                # awaited to completion before the next spawns).
                 yield from self._train_batch(sub, misses)
                 self._stage.train += m.sim.now - t0
             m.host.free(alloc)

@@ -239,6 +239,8 @@ class MariusGNN(TrainingSystem):
                 yield from self._swap_partitions(prev_state, state)
                 self._stage.extract += m.sim.now - t0
             # else: the initial buffer was loaded during data preparation.
+            # sim-race: ordered -- epoch procs never co-run (each is
+            # awaited to completion before the next spawns).
             yield from self._train_state(list(state), epoch)
             prev_state = list(state)
         done_event.succeed(m.sim.now)

@@ -142,6 +142,8 @@ class PyGPlus(TrainingSystem):
                 yield from self._extract_features(sub)
                 self._stage.extract += m.sim.now - t0
                 t0 = m.sim.now
+                # sim-race: ordered -- one main loop per epoch, awaited
+                # to completion before the next spawns; never co-runs.
                 yield from self._train_batch(sub)
                 self._stage.train += m.sim.now - t0
         done_event.succeed(m.sim.now)

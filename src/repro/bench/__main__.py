@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.bench faults [-o BENCH_faults.json] [--plan plan.json]
     python -m repro.bench oracle [-o BENCH_oracle.json] [--fuzz N] [--regen]
     python -m repro.bench serve [-o BENCH_serve.json] [--smoke]
+    python -m repro.bench races [-o BENCH_races.json] [--check]
 
 ``hotpath`` runs the data-plane microbenchmarks (vectorized vs. seed
 reference implementations); ``simcore`` runs the event-plane benchmarks
@@ -23,7 +24,11 @@ the pinned golden traces, and a seeded scenario fuzz (see
 :mod:`repro.bench.oracle`); ``serve`` sweeps offered load over the two
 inference-serving backends and checks the async backend's saturation
 advantage plus the SLO-accounting invariants (see
-:mod:`repro.bench.serve`).  All write a JSON artifact and exit
+:mod:`repro.bench.serve`); ``races`` runs the static RACE2xx sweep and
+replays every run path over the oracle matrix under the runtime race
+detector, requiring zero unwaived conflicts, zero deadlock cycles, and
+bit-identical digests with the detector on or off (see
+:mod:`repro.bench.races`).  All write a JSON artifact and exit
 non-zero on failure.
 """
 
@@ -112,6 +117,19 @@ def main(argv=None) -> int:
                      help="offered-load grid override (requests/second)")
     srv.add_argument("--quiet", action="store_true",
                      help="suppress the per-point lines")
+    rc = sub.add_parser(
+        "races",
+        help="static RACE2xx sweep + runtime race/deadlock detection "
+             "over every run path (writes BENCH_races.json)")
+    rc.add_argument("-o", "--output", default="BENCH_races.json",
+                    help="output JSON path (default: %(default)s)")
+    rc.add_argument("--check", action="store_true",
+                    help="CI smoke: first scenario only, one timing run")
+    rc.add_argument("--overhead-runs", type=int, default=3,
+                    help="timing repetitions for the overhead layer "
+                         "(default: %(default)s)")
+    rc.add_argument("--quiet", action="store_true",
+                    help="suppress the per-run lines")
     args = parser.parse_args(argv)
 
     if args.command == "hotpath":
@@ -153,6 +171,12 @@ def main(argv=None) -> int:
         artifact = run_serve_bench(output=args.output, smoke=args.smoke,
                                    rates=args.rates,
                                    verbose=not args.quiet)
+        return 0 if artifact["ok"] else 1
+    if args.command == "races":
+        from repro.bench.races import run_races
+        artifact = run_races(check=args.check,
+                             overhead_runs=args.overhead_runs,
+                             output=args.output, verbose=not args.quiet)
         return 0 if artifact["ok"] else 1
     return 2
 

@@ -1,0 +1,196 @@
+"""Race & deadlock bench: static sweep + dynamic matrix + overhead.
+
+``python -m repro.bench races`` drives three layers of checking and
+writes ``BENCH_races.json``:
+
+1. **Static** — the interprocedural RACE2xx analysis
+   (:mod:`repro.analysis.races`) sweeps ``src/repro``; zero *active*
+   findings required (every shared-state conflict is either fixed or
+   carries a justified ``# sim-race: ordered -- why`` annotation, whose
+   count is recorded).
+2. **Dynamic** — every run path (the five training systems plus
+   ``in-memory`` and ``multigpu``, plus the inference server) executes
+   over the oracle scenario matrix with the runtime
+   :class:`repro.analysis.RaceDetector` armed.  Zero unwaived
+   intra-cohort conflicts and zero wait-for deadlock cycles required.
+   Each system also re-runs with the detector *disarmed* and the two
+   sanitizer trace digests must match bit-for-bit — the detector is an
+   observer, never a participant.
+3. **Overhead** — wall-clock ratio of a representative run with the
+   detector on vs. off (runs / mean / stddev recorded, not gated:
+   per-method recording is expected to cost real time).
+
+``--check`` is the CI smoke: first scenario only, stacks off for the
+overhead sample, single timing run.  Exit non-zero on any gate failure.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.bench.runner import EXTRA_SYSTEMS, SYSTEM_NAMES, get_dataset, \
+    run_system
+from repro.oracle.scenario import DEFAULT_MATRIX, Scenario, ScenarioRunner
+
+#: All training-side run paths exercised by the dynamic layer; the
+#: inference server is the seventh path (handled separately — it has
+#: its own scenario type).
+ALL_SYSTEMS = SYSTEM_NAMES + EXTRA_SYSTEMS
+
+
+def _static_layer(verbose: bool) -> Dict:
+    """RACE2xx static sweep over the shipped source tree."""
+    from repro.analysis.races import analyze_paths
+
+    src = Path(__file__).resolve().parent.parent  # src/repro
+    active = analyze_paths([src])
+    suppressed = analyze_paths([src], keep_suppressed=True)
+    annotated = sum(1 for f in suppressed if f.suppressed)
+    layer = {
+        "active_findings": [f.render() for f in active],
+        "annotated_findings": annotated,
+        "ok": not active,
+    }
+    if verbose:
+        mark = "ok" if layer["ok"] else "FAIL"
+        print(f"static  src/repro {mark}  "
+              f"({len(active)} active, {annotated} annotated)")
+        for line in layer["active_findings"]:
+            print(f"    {line}")
+    return layer
+
+
+def _run_entry(run, system: str) -> Dict:
+    rr = run.race_report or {}
+    return {
+        "system": system,
+        "status": run.status,
+        "unwaived": rr.get("unwaived", 0),
+        "conflicts": rr.get("conflicts", 0),
+        "waived": rr.get("waived", {}),
+        "deadlock_groups": rr.get("deadlock_groups", []),
+        "accesses_recorded": rr.get("accesses_recorded", 0),
+    }
+
+
+def _dynamic_layer(matrix: Sequence[Scenario], verbose: bool) -> Dict:
+    """Armed runs over the matrix + digest equality vs. disarmed runs."""
+    runs = []
+    ok = True
+    for sc in matrix:
+        runner = ScenarioRunner(sc)
+        for system in ALL_SYSTEMS:
+            kw = {"num_workers": 2} if system == "multigpu" else {}
+            on = runner.run(system, races=True, **kw)
+            off = runner.run(system, races=False, **kw)
+            entry = _run_entry(on, system)
+            entry["scenario"] = sc.name
+            entry["digest_equal"] = on.digest == off.digest
+            entry["ok"] = (entry["unwaived"] == 0
+                           and not entry["deadlock_groups"]
+                           and entry["digest_equal"])
+            ok = ok and entry["ok"]
+            runs.append(entry)
+            if verbose:
+                mark = "ok" if entry["ok"] else "FAIL"
+                print(f"dynamic {sc.name:<14} {system:<13} "
+                      f"{on.status:<4} {mark}  "
+                      f"(unwaived={entry['unwaived']}, "
+                      f"conflicts={entry['conflicts']}, "
+                      f"deadlocks={len(entry['deadlock_groups'])}, "
+                      f"digest={'=' if entry['digest_equal'] else '!='})")
+    return {"runs": runs, "ok": ok}
+
+
+def _serve_layer(verbose: bool) -> Dict:
+    """The seventh run path: the inference server under the detector."""
+    from repro.serve.scenario import ServeScenario, run_serve_scenario
+
+    sc = ServeScenario(name="races-smoke")
+    on = run_serve_scenario(sc, races=True)
+    off = run_serve_scenario(sc)
+    entry = _run_entry(on, "serve")
+    entry["scenario"] = sc.name
+    entry["digest_equal"] = on.digest == off.digest
+    entry["ok"] = (entry["unwaived"] == 0 and not entry["deadlock_groups"]
+                   and entry["digest_equal"])
+    if verbose:
+        mark = "ok" if entry["ok"] else "FAIL"
+        print(f"dynamic {sc.name:<14} {'serve':<13} {on.status:<4} {mark}  "
+              f"(unwaived={entry['unwaived']}, "
+              f"conflicts={entry['conflicts']}, "
+              f"deadlocks={len(entry['deadlock_groups'])}, "
+              f"digest={'=' if entry['digest_equal'] else '!='})")
+    return {"runs": [entry], "ok": entry["ok"]}
+
+
+def _overhead_layer(scenario: Scenario, runs: int, verbose: bool) -> Dict:
+    """Wall-clock ratio of armed vs. disarmed runs (recorded, not gated)."""
+    dataset = get_dataset(scenario.dataset, scale=scenario.dataset_scale,
+                          seed=scenario.seed)
+
+    def _time(races: bool) -> list:
+        samples = []
+        for _ in range(runs):
+            spec = scenario.machine_spec(races=races)
+            # sim-lint: disable=DET101 -- overhead benches real wall time
+            t0 = time.perf_counter()
+            run_system("gnndrive-gpu", dataset, scenario.train_config(),
+                       epochs=scenario.epochs, warmup_epochs=0,
+                       machine_spec=spec)
+            # sim-lint: disable=DET101 -- overhead benches real wall time
+            samples.append(time.perf_counter() - t0)
+        return samples
+
+    base = _time(False)
+    armed = _time(True)
+
+    def _stats(xs):
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / len(xs)
+        return {"runs": len(xs), "mean_s": mean, "stddev_s": math.sqrt(var)}
+
+    layer = {
+        "scenario": scenario.name,
+        "system": "gnndrive-gpu",
+        "baseline": _stats(base),
+        "sanitized": _stats(armed),
+        "overhead_ratio": (sum(armed) / len(armed)) / (sum(base) / len(base)),
+    }
+    if verbose:
+        print(f"overhead {scenario.name} gnndrive-gpu: "
+              f"{layer['overhead_ratio']:.2f}x "
+              f"({layer['baseline']['mean_s']:.3f}s -> "
+              f"{layer['sanitized']['mean_s']:.3f}s, {runs} run(s))")
+    return layer
+
+
+def run_races(matrix: Sequence[Scenario] = DEFAULT_MATRIX,
+              check: bool = False,
+              overhead_runs: int = 3,
+              output: Optional[str] = "BENCH_races.json",
+              verbose: bool = True) -> Dict:
+    """Run the three layers and write the JSON artifact."""
+    if check:
+        matrix = matrix[:1]
+        overhead_runs = 1
+    artifact: Dict = {"check": check}
+    artifact["static"] = _static_layer(verbose)
+    artifact["dynamic"] = _dynamic_layer(matrix, verbose)
+    artifact["serve"] = _serve_layer(verbose)
+    artifact["overhead"] = _overhead_layer(matrix[0], overhead_runs, verbose)
+    artifact["ok"] = (artifact["static"]["ok"]
+                      and artifact["dynamic"]["ok"]
+                      and artifact["serve"]["ok"])
+    if verbose:
+        print("races bench:", "ok" if artifact["ok"] else "VIOLATIONS")
+    if output:
+        with open(output, "w") as fh:
+            json.dump(artifact, fh, indent=2, default=str)
+        if verbose:
+            print(f"wrote {output}")
+    return artifact

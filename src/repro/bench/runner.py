@@ -148,6 +148,7 @@ def run_system(system: str, dataset: DiskDataset,
                keep_machine: bool = False,
                sanitize: bool = False,
                sanitize_trace: bool = False,
+               sanitize_races: bool = False,
                fault_plan=None) -> SystemResult:
     """Run one system for a few epochs; OOM/OOT become status markers.
 
@@ -155,7 +156,9 @@ def run_system(system: str, dataset: DiskDataset,
     the dataset scale, preserving the paper's capacity ratios at every
     bench profile.  *sanitize* attaches a strict
     :class:`repro.analysis.SimSanitizer` to the machine (pass
-    ``keep_machine=True`` to read its report afterwards).  *fault_plan*
+    ``keep_machine=True`` to read its report afterwards);
+    *sanitize_races* additionally arms the intra-cohort race detector
+    and wait-for deadlock graph (implies *sanitize*).  *fault_plan*
     (a :class:`repro.faults.FaultPlan`) turns on deterministic fault
     injection for the run.
     """
@@ -165,8 +168,9 @@ def run_system(system: str, dataset: DiskDataset,
     spec = machine_spec or MachineSpec.paper_scaled(
         host_gb=host_gb, scale=DEFAULT_SCALE * data_scale,
         num_gpus=num_gpus)
-    if sanitize or sanitize_trace:
-        spec = _replace(spec, sanitize=True, sanitize_trace=sanitize_trace)
+    if sanitize or sanitize_trace or sanitize_races:
+        spec = _replace(spec, sanitize=True, sanitize_trace=sanitize_trace,
+                        sanitize_races=sanitize_races)
     if fault_plan is not None:
         spec = _replace(spec, faults=fault_plan)
     machine = Machine(spec)

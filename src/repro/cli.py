@@ -21,10 +21,10 @@ Commands
     serving scenario and print latency/goodput stats.
 ``bench``
     Pass-through to ``python -m repro.bench`` (hotpath, determinism,
-    faults, oracle, serve).
+    faults, oracle, serve, races).
 ``lint``
-    The determinism linter over the source tree (also available as
-    ``python -m repro.lint``).
+    The determinism linter (DET1xx) and static race analysis (RACE2xx)
+    over the source tree (also available as ``python -m repro.lint``).
 """
 
 from __future__ import annotations
@@ -391,9 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
-        "lint", help="determinism linter (DET101-DET107) over the tree",
-        description="Run the determinism linter (DET101-DET107) over "
-                    "the source tree; also available as "
+        "lint", help="determinism linter (DET101-DET108) and race "
+                     "analysis (RACE201-RACE206) over the tree",
+        description="Run the determinism linter (DET101-DET108) and "
+                    "the static cohort-race analysis (RACE201-RACE206) "
+                    "over the source tree; also available as "
                     "python -m repro.lint.")
     p.add_argument("lint_args", nargs=argparse.REMAINDER,
                    help="arguments forwarded to the linter "

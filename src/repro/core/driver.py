@@ -307,6 +307,10 @@ class GNNDrive(TrainingSystem):
                     self.max_batch_nodes * self.dataset.features.record_nbytes,
                     where="feature-buffer-reserve (batch exceeded Mb "
                           "estimate; raise batch_nodes_margin)")
+            # sim-race: ordered -- slot protocol: extract_q FIFO hands
+            # each batch to exactly one extractor, slot sets of live
+            # batches are disjoint, and trainer/releaser only touch
+            # batches whose finish_load already completed.
             cls = fb.begin_batch(nodes)
 
             # Reserve slots for the loads (blocks on the releaser when
@@ -319,6 +323,8 @@ class GNNDrive(TrainingSystem):
             to_load = cls.needs_load
 
             if self.staging is not None:
+                # sim-race: ordered -- staging grants follow FIFO waiter
+                # order, which the seq-pinned cohort order fixes.
                 yield from self._reserve_staging(len(to_load))
             # SQE construction and buffer bookkeeping on a CPU core.
             yield from m.cpu_task(PER_BATCH_COST
@@ -335,6 +341,9 @@ class GNNDrive(TrainingSystem):
                     resident = cache.records_resident_mask(feat_handle,
                                                            to_load)
                     ssd_nodes = to_load[~resident]
+                    # sim-race: ordered -- warm() inserts the disjoint
+                    # pages this extractor just read; intra-cohort LRU
+                    # insertion order is seq-pinned and digest-verified.
                     cache.warm(feat_handle,
                                cache.pages_for_records(feat_handle, to_load))
                 # Phase 1: asynchronous loads from SSD (io_uring).
@@ -344,6 +353,9 @@ class GNNDrive(TrainingSystem):
                 res = ring.last_res
                 dropped_nodes = np.empty(0, dtype=np.int64)
                 if res is not None and (res < 0).any():
+                    # sim-race: ordered -- recovery resubmits go through
+                    # this extractor's private ring; SSD queueing order
+                    # within a cohort is seq-pinned and digest-verified.
                     t_load, dropped_nodes = yield from \
                         self._recover_failed_reads(ring, feat_handle,
                                                    ssd_nodes, t_load, res)
@@ -487,6 +499,9 @@ class GNNDrive(TrainingSystem):
                 return
             t0 = m.sim.now
             yield from m.cpu_task(PER_BATCH_COST / 2)
+            # sim-race: ordered -- release_q FIFO delivers each finished
+            # batch exactly once; released slot sets are disjoint from
+            # every in-flight batch the extractors/trainer touch.
             self.feature_buffer.release(item.subgraph.all_nodes)
             self._stage.release += m.sim.now - t0
             if m.tracer:

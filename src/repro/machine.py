@@ -68,6 +68,12 @@ class MachineSpec:
     #: With ``sanitize``, also keep the full event trace for replay
     #: diffing (memory-hungry; the determinism harness turns it on).
     sanitize_trace: bool = False
+    #: With ``sanitize``, also attach the intra-cohort race detector
+    #: (:class:`repro.analysis.RaceDetector`): every registered shared
+    #: object gets per-method access recording, and Store/Resource
+    #: blocking feeds a wait-for graph for deadlock cycle dumps.
+    #: Observer-only — trace digests are bit-identical either way.
+    sanitize_races: bool = False
     #: Optional :class:`repro.faults.FaultPlan` — deterministic fault
     #: injection (chaos testing).  None (or an empty plan) leaves the
     #: machine bit-identical to a fault-free build.
@@ -108,6 +114,10 @@ class MachineSpec:
             raise ConfigError(
                 f"faults must be a FaultPlan or None, "
                 f"got {type(self.faults).__name__}")
+        if self.sanitize_races and not self.sanitize:
+            raise ConfigError(
+                "sanitize_races requires sanitize=True (the race detector "
+                "rides on the sanitizer's registry)")
 
     @staticmethod
     def paper_scaled(host_gb: float = 32, scale: float = DEFAULT_SCALE,
@@ -163,6 +173,9 @@ class Machine:
             for gpu in self.gpus:
                 self.sanitizer.register(gpu)
             self.sanitizer.register(self.cpu)
+            if spec.sanitize_races:
+                self.sanitizer.enable_races()
+                self.sanitizer.races.watch(self.ssd)
         #: Optional fault injector (see ``MachineSpec.faults``).  An
         #: empty plan keeps this None, so a machine built with
         #: ``faults=EMPTY_PLAN`` is bit-identical to ``faults=None``.
@@ -248,6 +261,9 @@ class Machine:
             wait = start - self.sim.now
             if wait > 0:
                 yield self.sim.timeout(wait)
+            # sim-race: ordered -- pressure deltas are commutative
+            # add/sub; overlapping episodes compose to the same total
+            # in any cohort order.
             self.host.set_fault_pressure(self.host.fault_pressure + nbytes)
             ledger.pressure_episodes += 1
             yield self.sim.timeout(spec.duration)

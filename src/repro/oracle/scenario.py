@@ -86,13 +86,14 @@ class Scenario:
 
     def machine_spec(self, host_gb: Optional[float] = None,
                      channels: Optional[int] = None,
-                     num_gpus: int = 1) -> MachineSpec:
+                     num_gpus: int = 1,
+                     races: bool = False) -> MachineSpec:
         return MachineSpec.paper_scaled(
             host_gb=host_gb if host_gb is not None else self.host_gb,
             scale=DEFAULT_SCALE * self.dataset_scale,
             num_gpus=num_gpus,
             ssd=self.ssd_spec(channels),
-            sanitize=True, sanitize_trace=True)
+            sanitize=True, sanitize_trace=True, sanitize_races=races)
 
     def resolve_fault_plan(self):
         if self.fault_plan == "empty":
@@ -112,6 +113,7 @@ class SystemRun:
     digest: str = ""
     trace: Optional[List[Tuple]] = None
     findings: List[str] = None
+    race_report: Optional[dict] = None
     error: str = ""
 
     @property
@@ -148,15 +150,18 @@ class ScenarioRunner:
             channels: Optional[int] = None,
             epochs: Optional[int] = None,
             fault_plan: Optional[str] = None,
-            num_workers: int = 1) -> SystemRun:
-        key = (system, host_gb, channels, epochs, fault_plan, num_workers)
+            num_workers: int = 1,
+            races: bool = False) -> SystemRun:
+        key = (system, host_gb, channels, epochs, fault_plan, num_workers,
+               races)
         if key not in self._cache:
             self._cache[key] = self._execute(system, host_gb, channels,
-                                             epochs, fault_plan, num_workers)
+                                             epochs, fault_plan, num_workers,
+                                             races)
         return self._cache[key]
 
     def _execute(self, system, host_gb, channels, epochs, fault_plan,
-                 num_workers) -> SystemRun:
+                 num_workers, races=False) -> SystemRun:
         sc = self.scenario
         plan_name = fault_plan if fault_plan is not None else sc.fault_plan
         plan = replace(sc, fault_plan=plan_name).resolve_fault_plan()
@@ -168,10 +173,15 @@ class ScenarioRunner:
             warmup_epochs=0,
             num_workers=num_workers,
             machine_spec=sc.machine_spec(host_gb=host_gb, channels=channels,
-                                         num_gpus=max(1, num_workers)),
+                                         num_gpus=max(1, num_workers),
+                                         races=races),
             fault_plan=plan,
             keep_machine=True)
         san = res.machine.sanitizer if res.machine is not None else None
+        race_report = None
+        if san is not None and san.races is not None:
+            san.races.finalize()
+            race_report = san.races.report_dict()
         return SystemRun(
             system=system,
             status=res.status,
@@ -179,6 +189,7 @@ class ScenarioRunner:
             digest=san.trace_digest() if san is not None else "",
             trace=list(san.trace) if san is not None else None,
             findings=[f.render() for f in san.findings] if san else [],
+            race_report=race_report,
             error=res.error)
 
 

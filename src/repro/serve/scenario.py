@@ -84,12 +84,12 @@ class ServeScenario:
     def train_config(self) -> TrainConfig:
         return TrainConfig(model_kind=self.model_kind, seed=self.seed)
 
-    def machine_spec(self) -> MachineSpec:
+    def machine_spec(self, races: bool = False) -> MachineSpec:
         return MachineSpec.paper_scaled(
             host_gb=self.host_gb,
             scale=DEFAULT_SCALE * self.dataset_scale,
             num_gpus=self.num_replicas,
-            sanitize=True, sanitize_trace=True,
+            sanitize=True, sanitize_trace=True, sanitize_races=races,
             faults=self.resolve_fault_plan())
 
     def resolve_fault_plan(self):
@@ -110,6 +110,7 @@ class ServeRun:
     digest: str = ""
     trace: Optional[List[Tuple]] = None
     findings: List[str] = None
+    race_report: Optional[Dict] = None
     error: str = ""
 
     @property
@@ -121,14 +122,19 @@ class ServeRun:
         return not self.findings
 
 
-def run_serve_scenario(scenario: ServeScenario) -> ServeRun:
-    """Execute *scenario* sanitized with full tracing."""
+def run_serve_scenario(scenario: ServeScenario,
+                       races: bool = False) -> ServeRun:
+    """Execute *scenario* sanitized with full tracing.
+
+    *races* additionally arms the intra-cohort race detector; the run's
+    trace digest is unchanged either way (the detector only observes).
+    """
     from repro.bench.runner import get_dataset
     from repro.serve.server import InferenceServer
 
     dataset = get_dataset(scenario.dataset, scale=scenario.dataset_scale,
                           seed=scenario.seed)
-    machine = Machine(scenario.machine_spec())
+    machine = Machine(scenario.machine_spec(races=races))
     server = None
     try:
         server = InferenceServer(machine, dataset,
@@ -145,6 +151,10 @@ def run_serve_scenario(scenario: ServeScenario) -> ServeRun:
         if server is not None:
             server.teardown()
     san = machine.sanitizer
+    race_report = None
+    if san is not None and san.races is not None:
+        san.races.finalize()
+        race_report = san.races.report_dict()
     return ServeRun(
         scenario=scenario,
         status=status,
@@ -152,4 +162,5 @@ def run_serve_scenario(scenario: ServeScenario) -> ServeRun:
         digest=san.trace_digest() if san is not None else "",
         trace=list(san.trace) if san is not None else None,
         findings=[f.render() for f in san.findings] if san else [],
+        race_report=race_report,
         error=error)

@@ -223,6 +223,8 @@ class InferenceServer:
             duration = m.gpu_cost.forward_time(
                 self.train_cfg.model_kind, sub.layer_sizes(), self.dims)
             act = activation_bytes(sub, self.dims) // 2  # no grads
+            # sim-race: ordered -- worker r owns gpus[r] exclusively
+            # (one worker per replica); instances touch disjoint devices.
             gpu.allocate(act, tag="activations")
             try:
                 yield from m.gpu_task(r, duration)

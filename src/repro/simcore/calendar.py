@@ -27,7 +27,7 @@ reproduces the seed heap's ``(priority, seq)`` tie-break exactly.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ class Segment:
     __slots__ = ("whens", "keys", "events", "cohort", "start")
 
     def __init__(self, whens: np.ndarray, keys: np.ndarray,
-                 events: Optional[np.ndarray], cohort=None):
+                 events: Optional[np.ndarray], cohort: Any = None) -> None:
         self.whens = whens
         self.keys = keys
         self.events = events
@@ -88,7 +88,7 @@ class EventCalendar:
 
     __slots__ = ("_heap",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._heap: List[tuple] = []
 
     def __bool__(self) -> bool:
@@ -116,7 +116,7 @@ class EventCalendar:
         return self._heap[0][0] if self._heap else float("inf")
 
     # ------------------------------------------------------------------
-    def push(self, when: float, key: int, event) -> None:
+    def push(self, when: float, key: int, event: Any) -> None:
         """Arm one singleton entry (cost of the seed's heappush)."""
         heapq.heappush(self._heap, (when, key, event))
 

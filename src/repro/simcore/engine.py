@@ -25,7 +25,8 @@ exception).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+from typing import Any, Callable, Generator, Iterable, List, Optional, \
+    Sequence
 
 import numpy as np
 
@@ -62,7 +63,7 @@ class Event:
     #: :class:`Timeout` shadows it with an instance slot for ``cancel``.
     _cancelled = False
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[list] = []
         self._value: Any = PENDING
@@ -125,7 +126,7 @@ class Timeout(Event):
     __slots__ = ("delay", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None,
-                 _defer: bool = False):
+                 _defer: bool = False) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
@@ -168,7 +169,7 @@ class WakeupCohort:
                  "_cancelled")
 
     def __init__(self, sim: "Simulator", seq0: int, count: int, kind: str,
-                 name: str):
+                 name: str) -> None:
         self.sim = sim
         self.seq0 = seq0
         self.count = count
@@ -201,7 +202,7 @@ class Process(Event):
 
     __slots__ = ("gen", "name", "_wait_token", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(gen, "send"):
             raise TypeError(f"process requires a generator, got {gen!r}")
@@ -310,7 +311,7 @@ class Simulator:
     into ``_now_heap`` with a single ``self.now`` update.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0.0
         self._calendar = EventCalendar()
         self._now_heap: list = []
@@ -335,7 +336,7 @@ class Simulator:
         """Create an event that fires ``delay`` simulated seconds from now."""
         return Timeout(self, delay, value)
 
-    def timeouts(self, delays, values: Optional[Sequence] = None
+    def timeouts(self, delays: Any, values: Optional[Sequence] = None
                  ) -> list:
         """Arm one timeout per delay with a single calendar insert.
 
@@ -357,7 +358,7 @@ class Simulator:
         self._schedule_batch(events, NORMAL, delays)
         return events
 
-    def schedule_wakeups(self, delays, kind: str = "Timeout",
+    def schedule_wakeups(self, delays: Any, kind: str = "Timeout",
                          name: str = "") -> WakeupCohort:
         """Arm N object-free logical wakeups with one calendar insert.
 
@@ -385,6 +386,17 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped (None outside callbacks)."""
         return self._active_process
+
+    def _deadlock_dump(self) -> str:
+        """Wait-for cycle dump from an attached race detector, if any."""
+        san = self.sanitizer
+        if san is None:
+            return ""
+        dump = getattr(san, "deadlock_dump", None)
+        if dump is None:
+            return ""
+        text = dump()
+        return f"\n{text}" if text else ""
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -618,7 +630,7 @@ class Simulator:
         self.cohorts_dispatched += 1 + int(
             np.count_nonzero(whens[1:] != whens[:-1]))
 
-    def _dispatch_logical_bulk(self, spans) -> None:
+    def _dispatch_logical_bulk(self, spans: List[tuple]) -> None:
         """Retire an order-insensitive union of interleaved logical spans.
 
         Only reachable with the sanitizer off: logical wakeups have no
@@ -735,7 +747,7 @@ class Simulator:
             if each_event is not None:
                 each_event()
 
-    def run_process(self, gen_or_proc, until: Optional[float] = None) -> Any:
+    def run_process(self, gen_or_proc: Any, until: Optional[float] = None) -> Any:
         """Convenience: run one process to completion and return its value.
 
         Raises the process's exception if it failed, or
@@ -748,7 +760,8 @@ class Simulator:
         while proc.is_alive:
             if not (self._now_heap or self._calendar):
                 raise SimulationError(
-                    f"deadlock: schedule drained but {proc.name!r} is alive"
+                    f"deadlock: schedule drained but {proc.name!r} is "
+                    f"alive{self._deadlock_dump()}"
                 )
             if until is not None and self.peek() > until:
                 raise SimulationError(
@@ -765,7 +778,9 @@ class Simulator:
         while any(p.is_alive for p in procs):
             if not (self._now_heap or self._calendar):
                 alive = [p.name for p in procs if p.is_alive]
-                raise SimulationError(f"deadlock: processes still alive: {alive}")
+                raise SimulationError(
+                    f"deadlock: processes still alive: {alive}"
+                    f"{self._deadlock_dump()}")
             self.step()
         for p in procs:
             if not p.ok:
@@ -786,6 +801,6 @@ class _LogicalSingleton:
     #: Logical entries cannot be tombstoned through the Event API.
     _cancelled = False
 
-    def __init__(self, cohort: WakeupCohort, key: int):
+    def __init__(self, cohort: WakeupCohort, key: int) -> None:
         self.cohort = cohort
         self.key = key

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 
-def pipeline_completion(start_times: np.ndarray, service_times,
+def pipeline_completion(start_times: np.ndarray, service_times: np.ndarray,
                         initial_free: float = 0.0) -> np.ndarray:
     """Completion times of a FIFO single-server pipeline.
 

@@ -33,6 +33,8 @@ Equivalence with the ``OrderedDict`` model (checked by property tests):
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 #: Eviction scans walk the log in chunks of this many entries.
@@ -44,7 +46,7 @@ class ArrayLRU:
 
     __slots__ = ("_pos", "_log", "_head", "_len", "_size")
 
-    def __init__(self, num_keys: int, log_capacity: int = 64):
+    def __init__(self, num_keys: int, log_capacity: int = 64) -> None:
         if num_keys < 0:
             raise ValueError("num_keys must be >= 0")
         self._pos = np.full(num_keys, -1, dtype=np.int64)
@@ -70,11 +72,11 @@ class ArrayLRU:
     def __len__(self) -> int:
         return self._size
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: int) -> bool:
         key = int(key)
         return 0 <= key < len(self._pos) and self._pos[key] >= 0
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         """Iterate live keys in LRU order (oldest first)."""
         return iter(self.order())
 

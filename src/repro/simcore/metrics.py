@@ -25,7 +25,7 @@ class IntervalRecorder:
     over time, so utilization is the fraction of capacity-time used.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
@@ -141,7 +141,7 @@ class LatencyRecorder:
     ``numpy.quantile``'s default without importing numpy here.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._samples: List[float] = []
 
@@ -195,7 +195,7 @@ class UtilizationProbe:
     """
 
     def __init__(self, sim: Simulator, cpu_capacity: int = 1,
-                 gpu_capacity: int = 1):
+                 gpu_capacity: int = 1) -> None:
         self.sim = sim
         self.cpu = IntervalRecorder(sim, cpu_capacity, "cpu")
         self.gpu = IntervalRecorder(sim, gpu_capacity, "gpu")

@@ -20,7 +20,7 @@ class Condition(Event):
     (mirroring how an I/O error should abort a batched wait).
     """
 
-    def __init__(self, sim: Simulator, events: Sequence[Event], count: int):
+    def __init__(self, sim: Simulator, events: Sequence[Event], count: int) -> None:
         super().__init__(sim)
         self._events: List[Event] = list(events)
         self._need = min(count, len(self._events))
@@ -52,7 +52,7 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when *all* events have succeeded; value maps event→value."""
 
-    def __init__(self, sim: Simulator, events: Sequence[Event]):
+    def __init__(self, sim: Simulator, events: Sequence[Event]) -> None:
         events = list(events)
         super().__init__(sim, events, count=len(events))
 
@@ -60,7 +60,7 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers when *any one* event has succeeded."""
 
-    def __init__(self, sim: Simulator, events: Sequence[Event]):
+    def __init__(self, sim: Simulator, events: Sequence[Event]) -> None:
         super().__init__(sim, events, count=1)
 
 
@@ -76,7 +76,7 @@ class Countdown:
 
     __slots__ = ("sim", "remaining", "event")
 
-    def __init__(self, sim: Simulator, count: int):
+    def __init__(self, sim: Simulator, count: int) -> None:
         self.sim = sim
         self.remaining = int(count)
         self.event = Event(sim)

@@ -21,7 +21,7 @@ class RandomStreams:
     (seed, name) pair always yields the same stream.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
 

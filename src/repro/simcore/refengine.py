@@ -43,7 +43,7 @@ class Event:
     #: Tombstone flag; shadowed by an instance slot on :class:`Timeout`.
     _cancelled = False
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[list] = []
         self._value: Any = PENDING
@@ -100,7 +100,7 @@ class Timeout(Event):
     __slots__ = ("delay", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None,
-                 _defer: bool = False):
+                 _defer: bool = False) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
@@ -135,7 +135,7 @@ class WakeupCohort:
     __slots__ = ("sim", "count", "kind", "name", "_timeouts")
 
     def __init__(self, sim: "Simulator", timeouts: list, kind: str,
-                 name: str):
+                 name: str) -> None:
         self.sim = sim
         self.count = len(timeouts)
         self.kind = kind
@@ -152,7 +152,7 @@ class Process(Event):
 
     __slots__ = ("gen", "name", "_wait_token", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(gen, "send"):
             raise TypeError(f"process requires a generator, got {gen!r}")
@@ -232,7 +232,7 @@ class Process(Event):
 class Simulator:
     """The reference event loop: a heap of (time, priority, seq, event)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
         self._seq = 0
@@ -251,14 +251,14 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def timeouts(self, delays, values: Optional[Sequence] = None) -> list:
+    def timeouts(self, delays: Any, values: Optional[Sequence] = None) -> list:
         """Arm one timeout per delay, one heap push each (reference)."""
         delays = np.asarray(delays, dtype=np.float64)
         if values is None:
             return [Timeout(self, float(d)) for d in delays]
         return [Timeout(self, float(d), v) for d, v in zip(delays, values)]
 
-    def schedule_wakeups(self, delays, kind: str = "Timeout",
+    def schedule_wakeups(self, delays: Any, kind: str = "Timeout",
                          name: str = "") -> WakeupCohort:
         """Arm N wakeups as N real timeouts (reference semantics)."""
         delays = np.asarray(delays, dtype=np.float64)
@@ -339,7 +339,7 @@ class Simulator:
             if each_event is not None:
                 each_event()
 
-    def run_process(self, gen_or_proc, until: Optional[float] = None) -> Any:
+    def run_process(self, gen_or_proc: Any, until: Optional[float] = None) -> Any:
         proc = gen_or_proc
         if not isinstance(proc, Process):
             proc = self.process(proc)

@@ -17,6 +17,12 @@ from repro.errors import SimulationError
 from repro.simcore.engine import NORMAL, Event, Simulator
 
 
+def _race_detector(sim: Simulator) -> Optional[Any]:
+    """The attached race detector, or None (the common fast path)."""
+    san = sim.sanitizer
+    return None if san is None else getattr(san, "races", None)
+
+
 class Resource:
     """A counted resource with FIFO waiters.
 
@@ -30,7 +36,7 @@ class Resource:
             cpu.release()
     """
 
-    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -50,17 +56,25 @@ class Resource:
     def request(self) -> Event:
         """Return an event that succeeds once a unit is granted."""
         ev = Event(self.sim)
+        det = _race_detector(self.sim)
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed(self)
+            if det is not None:
+                det.on_acquire(self)
         else:
             self._waiters.append(ev)
+            if det is not None:
+                det.on_block(self, "request", ev)
         return ev
 
     def release(self) -> None:
         """Return one unit; wakes the oldest waiter if any."""
         if self.in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        det = _race_detector(self.sim)
+        if det is not None:
+            det.on_release(self)
         if self._waiters:
             # Hand the unit straight to the next waiter: in_use unchanged.
             self._waiters.popleft().succeed(self)
@@ -88,7 +102,7 @@ class Store:
     """
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None,
-                 name: str = "store"):
+                 name: str = "store") -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -108,6 +122,7 @@ class Store:
     def put(self, item: Any) -> Event:
         """Enqueue *item*; the returned event succeeds once accepted."""
         ev = Event(self.sim)
+        det = _race_detector(self.sim)
         if self._getters:
             # Direct hand-off to a waiting consumer.
             self._getters.popleft().succeed(item)
@@ -117,6 +132,11 @@ class Store:
             ev.succeed(None)
         else:
             self._putters.append((ev, item))
+            if det is not None:
+                det.on_block(self, "put", ev)
+            return ev
+        if det is not None:
+            det.on_endpoint(self, "put")
         return ev
 
     def put_many(self, items: Iterable[Any]) -> list:
@@ -136,6 +156,9 @@ class Store:
             evs.append(self.put(items[i]))
             i += 1
         rest = items[i:]
+        det = _race_detector(self.sim)
+        if det is not None and items:
+            det.on_endpoint(self, "put")
         if not rest:
             return evs
         room = self.capacity - len(self.items)
@@ -164,6 +187,7 @@ class Store:
     def get(self) -> Event:
         """Dequeue an item; the returned event's value is the item."""
         ev = Event(self.sim)
+        det = _race_detector(self.sim)
         if self.items:
             item = self.items.popleft()
             ev.succeed(item)
@@ -172,8 +196,12 @@ class Store:
                 put_ev, pending = self._putters.popleft()
                 self.items.append(pending)
                 put_ev.succeed(None)
+            if det is not None:
+                det.on_endpoint(self, "get")
         else:
             self._getters.append(ev)
+            if det is not None:
+                det.on_block(self, "get", ev)
         return ev
 
     def try_get(self) -> tuple[bool, Any]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -28,7 +28,7 @@ class Span:
 class SpanTracer:
     """Collects spans and instants; renders Chrome trace event format."""
 
-    def __init__(self, process_name: str = "simulated-machine"):
+    def __init__(self, process_name: str = "simulated-machine") -> None:
         self.process_name = process_name
         self.spans: List[Span] = []
         self._instants: List[dict] = []
@@ -36,20 +36,21 @@ class SpanTracer:
 
     # ------------------------------------------------------------------
     def span(self, name: str, category: str, track: str,
-             start: float, end: float, **args) -> None:
+             start: float, end: float, **args: Any) -> None:
         """Record one complete span on a named track (actor lane)."""
         if end < start:
             raise ValueError(f"span {name!r} ends before it starts")
         self.spans.append(Span(name, category, track, start, end,
                                args or None))
 
-    def instant(self, name: str, track: str, when: float, **args) -> None:
+    def instant(self, name: str, track: str, when: float,
+                **args: Any) -> None:
         """Record a point event (e.g. an OOM, an epoch boundary)."""
         self._instants.append(dict(name=name, track=track, when=when,
                                    args=args or None))
 
     def span_batch(self, name: str, category: str, track: str,
-                   starts, ends) -> None:
+                   starts: Any, ends: Any) -> None:
         """Record one span per (start, end) pair with a single call.
 
         The cohort-dispatch companion: when a batched completion cohort

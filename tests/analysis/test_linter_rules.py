@@ -288,6 +288,68 @@ def test_det107_nested_function_yields_not_attributed():
 
 
 # ----------------------------------------------------------------------
+# DET108 — ordering from id()/hash() tie-breaks
+# ----------------------------------------------------------------------
+def test_det108_sorted_key_id():
+    assert codes("""
+        ordered = sorted(events, key=id)
+    """) == ["DET108"]
+
+
+def test_det108_sort_key_lambda_id():
+    assert codes("""
+        events.sort(key=lambda e: (e.time, id(e)))
+    """) == ["DET108"]
+
+
+def test_det108_min_with_hash_tiebreak():
+    assert codes("""
+        first = min(ready, key=lambda p: (p.priority, hash(p)))
+    """) == ["DET108"]
+
+
+def test_det108_heapq_push_id():
+    assert codes("""
+        import heapq
+        heapq.heappush(heap, (t, id(ev), ev))
+    """) == ["DET108"]
+
+
+def test_det108_heapq_alias():
+    assert codes("""
+        import heapq as hq
+        hq.heappush(heap, (t, id(ev), ev))
+    """) == ["DET108"]
+
+
+def test_det108_id_comparison():
+    assert codes("""
+        swap = id(a) < id(b)
+    """) == ["DET108"]
+
+
+def test_det108_id_equality_is_fine():
+    # Identity checks are deterministic; only *ordering* by id is not.
+    assert codes("""
+        same = id(a) == id(b)
+        ordered = sorted(events, key=lambda e: e.seq)
+    """) == []
+
+
+def test_det108_id_outside_ordering_is_fine():
+    assert codes("""
+        registry[id(obj)] = obj
+        label = f"obj-{id(obj)}"
+    """) == []
+
+
+def test_det108_suppression():
+    assert codes("""
+        ordered = sorted(xs, key=id)  # sim-lint: disable=DET108 -- display only
+    """) == []
+
+
+# ----------------------------------------------------------------------
 # Suppression syntax
 # ----------------------------------------------------------------------
 def test_suppression_same_line():
@@ -340,7 +402,13 @@ def test_render_json_counts():
 
 
 def test_rule_catalog_is_complete():
-    assert set(RULES) == {f"DET10{i}" for i in range(1, 8)}
+    assert set(RULES) == {f"DET10{i}" for i in range(1, 9)}
+
+
+def test_race_rule_catalog_is_complete():
+    from repro.analysis.races import RACE_RULES
+
+    assert set(RACE_RULES) == {f"RACE20{i}" for i in range(1, 7)}
 
 
 def test_cli_rules_and_clean_exit(tmp_path, capsys):

@@ -1,0 +1,95 @@
+"""Strict-typing gate for the deterministic core.
+
+CI installs mypy and runs ``mypy --strict -p repro.simcore -p
+repro.analysis`` in the lint job; this test mirrors that gate locally
+when mypy happens to be installed, and otherwise checks the cheap
+structural half of the policy that needs no third-party tooling:
+
+* every function/method in both packages carries a return annotation
+  and annotates all of its parameters;
+* every ``type: ignore`` names an error code and carries a trailing
+  ``--``-free reason comment on the same line.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+PACKAGES = ("repro.simcore", "repro.analysis")
+
+
+def _package_files() -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for pkg in PACKAGES:
+        root = SRC / pathlib.Path(*pkg.split("."))
+        files.extend(sorted(root.rglob("*.py")))
+    assert files, "package sources not found — did the layout move?"
+    return files
+
+
+def test_mypy_strict_when_available() -> None:
+    """Run the exact CI command if mypy is importable; skip otherwise."""
+    if shutil.which("mypy") is None:
+        pytest.skip("mypy not installed locally; the CI lint job runs it")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict",
+         "-p", PACKAGES[0], "-p", PACKAGES[1]],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PATH": "/usr/bin:/bin", "MYPYPATH": str(SRC)},
+    )
+    assert proc.returncode == 0, (
+        f"mypy --strict failed:\n{proc.stdout}\n{proc.stderr}")
+
+
+def test_all_defs_are_annotated() -> None:
+    """No un-annotated signatures in repro.simcore / repro.analysis."""
+    missing: list[str] = []
+    for path in _package_files():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            where = f"{path.relative_to(REPO)}:{node.lineno} {node.name}"
+            if node.returns is None:
+                missing.append(f"{where} (return)")
+            args = node.args
+            params = (args.posonlyargs + args.args + args.kwonlyargs)
+            for arg in params:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(f"{where} (param {arg.arg})")
+            for star in (args.vararg, args.kwarg):
+                if star is not None and star.annotation is None:
+                    missing.append(f"{where} (param *{star.arg})")
+    assert not missing, "un-annotated defs:\n" + "\n".join(missing)
+
+
+def test_type_ignores_carry_code_and_reason() -> None:
+    """``type: ignore`` must name an error code and justify itself."""
+    pattern = re.compile(r"#\s*type:\s*ignore(\[[\w,\-]+\])?")
+    bad: list[str] = []
+    for path in _package_files():
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = pattern.search(line)
+            if m is None:
+                continue
+            where = f"{path.relative_to(REPO)}:{lineno}"
+            if m.group(1) is None:
+                bad.append(f"{where}: bare type: ignore (no error code)")
+            # The justification rides the same line or the line above;
+            # same-line is the house style.
+            tail = line[m.end():].strip()
+            if not tail.lstrip("#").strip():
+                bad.append(f"{where}: no reason comment after the ignore")
+    assert not bad, "\n".join(bad)

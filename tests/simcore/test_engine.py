@@ -143,7 +143,7 @@ def test_yielding_non_event_raises_inside_process():
     sim = Simulator()
 
     def bad(sim):
-        yield 123
+        yield 123  # sim-lint: disable=DET107 -- deliberate bad yield under test
 
     p = sim.process(bad(sim))
     with pytest.raises(SimulationError):
