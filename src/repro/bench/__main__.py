@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.bench faults [-o BENCH_faults.json] [--plan plan.json]
     python -m repro.bench oracle [-o BENCH_oracle.json] [--fuzz N] [--regen]
     python -m repro.bench serve [-o BENCH_serve.json] [--smoke]
+    python -m repro.bench chaos_serve [-o BENCH_chaos_serve.json] [--smoke]
     python -m repro.bench races [-o BENCH_races.json] [--check]
 
 ``hotpath`` runs the data-plane microbenchmarks (vectorized vs. seed
@@ -24,7 +25,10 @@ the pinned golden traces, and a seeded scenario fuzz (see
 :mod:`repro.bench.oracle`); ``serve`` sweeps offered load over the two
 inference-serving backends and checks the async backend's saturation
 advantage plus the SLO-accounting invariants (see
-:mod:`repro.bench.serve`); ``races`` runs the static RACE2xx sweep and
+:mod:`repro.bench.serve`); ``chaos_serve`` runs the serving plane under
+the replica-chaos plan and checks lossless accounting, the hedged-p99
+win, determinism, and that the PR 5 serve golden is untouched (see
+:mod:`repro.bench.chaos_serve`); ``races`` runs the static RACE2xx sweep and
 replays every run path over the oracle matrix under the runtime race
 detector, requiring zero unwaived conflicts, zero deadlock cycles, and
 bit-identical digests with the detector on or off (see
@@ -117,6 +121,17 @@ def main(argv=None) -> int:
                      help="offered-load grid override (requests/second)")
     srv.add_argument("--quiet", action="store_true",
                      help="suppress the per-point lines")
+    cs = sub.add_parser(
+        "chaos_serve",
+        help="replica failure domain under load: lossless accounting, "
+             "hedging p99 win, determinism, golden-unchanged (writes "
+             "BENCH_chaos_serve.json)")
+    cs.add_argument("-o", "--output", default="BENCH_chaos_serve.json",
+                    help="output JSON path (default: %(default)s)")
+    cs.add_argument("--smoke", action="store_true",
+                    help="CI sizing: fewer requests, same four gates")
+    cs.add_argument("--quiet", action="store_true",
+                    help="suppress the per-run lines")
     rc = sub.add_parser(
         "races",
         help="static RACE2xx sweep + runtime race/deadlock detection "
@@ -170,6 +185,11 @@ def main(argv=None) -> int:
         from repro.bench.serve import run_serve_bench
         artifact = run_serve_bench(output=args.output, smoke=args.smoke,
                                    rates=args.rates,
+                                   verbose=not args.quiet)
+        return 0 if artifact["ok"] else 1
+    if args.command == "chaos_serve":
+        from repro.bench.chaos_serve import run_chaos_serve
+        artifact = run_chaos_serve(output=args.output, smoke=args.smoke,
                                    verbose=not args.quiet)
         return 0 if artifact["ok"] else 1
     if args.command == "races":

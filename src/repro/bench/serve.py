@@ -55,6 +55,7 @@ def serve_stats_dict(stats) -> Dict:
         "completed": stats.completed,
         "shed": stats.shed,
         "timed_out": stats.timed_out,
+        "failed": stats.failed,
         "slo": stats.slo,
         "slo_miss": stats.slo_miss,
         "slo_attainment": stats.slo_attainment,

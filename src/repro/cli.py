@@ -199,6 +199,18 @@ def cmd_oracle(args) -> int:
 def cmd_serve(args) -> int:
     from repro.serve import ServeScenario, run_serve_scenario
 
+    if args.chaos and args.replica_chaos:
+        print("serve: pick one of --chaos / --replica-chaos")
+        return 2
+    plan = "none"
+    if args.chaos:
+        plan = "chaos"
+    elif args.replica_chaos:
+        plan = "replica-chaos"
+    if args.faults is not None and plan != "none":
+        print("serve: --faults is mutually exclusive with "
+              "--chaos/--replica-chaos")
+        return 2
     scenario = ServeScenario(
         name="cli-serve", dataset=args.dataset, dataset_scale=args.scale,
         host_gb=args.host_gb, backend=args.backend, kind=args.kind,
@@ -206,7 +218,8 @@ def cmd_serve(args) -> int:
         seeds_per_request=args.seeds_per_request, slo=args.slo,
         max_batch_size=args.max_batch_size, max_wait=args.max_wait,
         num_replicas=args.replicas, model_kind=args.model,
-        fault_plan="chaos" if args.chaos else "none", seed=args.seed)
+        fault_plan=plan, fault_plan_file=args.faults,
+        hedge=not args.no_hedge, seed=args.seed)
     run = run_serve_scenario(scenario)
     if not run.ok:
         print(f"serve: {run.status} ({run.error})")
@@ -219,6 +232,7 @@ def cmd_serve(args) -> int:
          ["completed", s.completed],
          ["shed", s.shed],
          ["timed out", s.timed_out],
+         ["failed", s.failed],
          ["SLO misses", s.slo_miss],
          ["SLO attainment", s.slo_attainment],
          ["throughput (req/s)", s.throughput],
@@ -379,6 +393,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="model replicas, one per GPU (default: 1)")
     p.add_argument("--chaos", action="store_true",
                    help="run under the built-in chaos fault plan")
+    p.add_argument("--replica-chaos", action="store_true",
+                   help="run under the built-in replica failure plan "
+                        "(crash/hang/slow episodes; arms the "
+                        "resilience plane)")
+    p.add_argument("--faults", metavar="PLAN.json", default=None,
+                   help="run under a FaultPlan loaded from JSON "
+                        "(mutually exclusive with --chaos/"
+                        "--replica-chaos)")
+    p.add_argument("--no-hedge", action="store_true",
+                   help="disable hedged requests (armed resilience "
+                        "plane only)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve)
 

@@ -285,6 +285,37 @@ class FeatureBuffer:
                     ev.succeed(k)
         return k
 
+    def reset_cold(self) -> None:
+        """Forget all state: every mapping, reference, and waiter.
+
+        Crash teardown for the serving resilience plane — a replica that
+        dies loses its device-resident buffer contents, so the restarted
+        replica must observe a cold cache (no stale valid bits from the
+        previous incarnation).  Disabled slots stay offline (pressure
+        episodes outlive a replica crash); pending waiter events are
+        failed so no process sleeps on a buffer that no longer owes it a
+        wake-up.
+        """
+        self.slot_of.fill(-1)
+        self.ref.fill(0)
+        self.valid.fill(False)
+        self.reverse.fill(-1)
+        self.standby = ArrayLRU(self.num_slots)
+        slots = np.arange(self.num_slots, dtype=np.int64)
+        if len(self._disabled):
+            slots = slots[~np.isin(slots, self._disabled)]
+        self.standby.add(slots)
+        self.data.fill(0)
+        waiters, self._slot_waiters = self._slot_waiters, deque()
+        events, self._node_events = self._node_events, {}
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(0)
+        for node in sorted(events):
+            ev = events[node]
+            if not ev.triggered:
+                ev.succeed(int(node))
+
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Structural invariants (used by property-based tests)."""

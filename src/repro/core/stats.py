@@ -68,10 +68,13 @@ class EpochStats:
 class ServeStats:
     """One serving run's outcome: latency tails, goodput, shed counters.
 
-    The accounting identity ``offered == completed + shed + timed_out``
-    is a hard invariant — :meth:`check_accounting` raises on violation
-    and the CI serve smoke job gates on it.  *Goodput* counts only
-    completed requests that met the SLO; *throughput* counts all
+    The accounting identity ``offered == completed + shed + timed_out +
+    failed`` is a hard invariant — :meth:`check_accounting` raises on
+    violation and the CI serve smoke job gates on it.  ``failed`` counts
+    requests abandoned by the resilience plane after the failover budget
+    ran out (zero without replica faults); exactly-once completion means
+    no request is ever counted in two terminal states.  *Goodput* counts
+    only completed requests that met the SLO; *throughput* counts all
     completions.  Latencies are arrival-to-completion seconds.
     """
 
@@ -84,6 +87,7 @@ class ServeStats:
     slo_miss: int
     duration: float
     offered_rate: float
+    failed: int = 0
     latency_p50: float = float("nan")
     latency_p95: float = float("nan")
     latency_p99: float = float("nan")
@@ -122,17 +126,18 @@ class ServeStats:
 
     def check_accounting(self) -> None:
         """Raise ``ValueError`` on any broken accounting invariant."""
-        if self.offered != self.completed + self.shed + self.timed_out:
+        if self.offered != (self.completed + self.shed + self.timed_out
+                            + self.failed):
             raise ValueError(
                 f"serve accounting: offered={self.offered} != "
                 f"completed={self.completed} + shed={self.shed} + "
-                f"timed_out={self.timed_out}")
+                f"timed_out={self.timed_out} + failed={self.failed}")
         if self.slo_miss > self.completed:
             raise ValueError(
                 f"serve accounting: slo_miss={self.slo_miss} exceeds "
                 f"completed={self.completed}")
         if min(self.offered, self.completed, self.shed,
-               self.timed_out, self.slo_miss) < 0:
+               self.timed_out, self.failed, self.slo_miss) < 0:
             raise ValueError("serve accounting: negative counter")
         if self.goodput > self.throughput + 1e-12:
             raise ValueError(

@@ -17,24 +17,29 @@ from repro.faults.plan import (
     EIO,
     EMPTY_PLAN,
     FAULT_KINDS,
+    REPLICA_KINDS,
     FaultPlan,
     FaultSpec,
     default_chaos_plan,
+    default_replica_chaos_plan,
     load_plan,
 )
-from repro.faults.recovery import RetryPolicy, alloc_with_retry
+from repro.faults.recovery import HedgePolicy, RetryPolicy, alloc_with_retry
 
 __all__ = [
     "EAGAIN",
     "EIO",
     "EMPTY_PLAN",
     "FAULT_KINDS",
+    "REPLICA_KINDS",
     "FaultInjector",
     "FaultLedger",
     "FaultPlan",
     "FaultSpec",
+    "HedgePolicy",
     "RetryPolicy",
     "alloc_with_retry",
     "default_chaos_plan",
+    "default_replica_chaos_plan",
     "load_plan",
 ]

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.plan import REPLICA_KINDS, FaultPlan, FaultSpec
 from repro.faults.recovery import RetryPolicy
 from repro.simcore.rand import RandomStreams
 
@@ -35,6 +35,11 @@ class FaultLedger:
         "dropped", "delayed", "pressure_episodes", "alloc_retries",
         "staging_retries", "sampler_retries", "fb_shrinks", "fb_restores",
         "sync_fallbacks", "depth_halvings",
+        # Replica failure domain (PR 8): episode + recovery-plane counters.
+        "injected_crash", "injected_hang", "injected_slow",
+        "replica_restarts", "failovers", "orphaned", "orphan_failed",
+        "hedges", "hedge_wins", "hedge_discards",
+        "ejections", "readmissions", "brownouts",
     )
 
     def __init__(self):
@@ -44,18 +49,30 @@ class FaultLedger:
         self.backoff_time = 0.0
         #: Simulated seconds of completed memory-pressure episodes.
         self.pressure_time = 0.0
+        #: Simulated replica-seconds of completed crash/hang outages.
+        self.replica_down_time = 0.0
+        #: Simulated seconds the server spent in brownout mode.
+        self.brownout_time = 0.0
 
     @property
     def injected(self) -> int:
         """Total injected errors (read + ring)."""
         return self.injected_read + self.injected_ring
 
+    @property
+    def injected_replica(self) -> int:
+        """Total injected replica episodes (crash + hang + slow)."""
+        return self.injected_crash + self.injected_hang + self.injected_slow
+
     def as_dict(self) -> Dict[str, float]:
-        out: Dict[str, float] = {"injected": self.injected}
+        out: Dict[str, float] = {"injected": self.injected,
+                                 "injected_replica": self.injected_replica}
         for name in self.COUNTERS:
             out[name] = getattr(self, name)
         out["backoff_time"] = self.backoff_time
         out["pressure_time"] = self.pressure_time
+        out["replica_down_time"] = self.replica_down_time
+        out["brownout_time"] = self.brownout_time
         return out
 
     def check_invariants(self) -> None:
@@ -65,6 +82,8 @@ class FaultLedger:
                 raise SimulationError(f"negative fault counter {name}")
         if self.backoff_time < 0 or self.pressure_time < 0:
             raise SimulationError("negative fault-ledger time accumulator")
+        if self.replica_down_time < 0 or self.brownout_time < 0:
+            raise SimulationError("negative fault-ledger time accumulator")
         # Every recovery or drop traces back to an injected error or a
         # retried request; a higher total means double accounting.
         if self.recovered + self.dropped > self.injected + self.retried:
@@ -72,6 +91,29 @@ class FaultLedger:
                 f"fault ledger out of balance: recovered {self.recovered} "
                 f"+ dropped {self.dropped} exceeds injected "
                 f"{self.injected} + retried {self.retried}")
+        # Replica balance: every restart traces to a crash episode, every
+        # re-admission to an ejection, every hedge win/discard to a
+        # launched hedge, and every failover or orphan-drop to an
+        # orphaned attempt.
+        if self.replica_restarts > self.injected_crash:
+            raise SimulationError(
+                f"fault ledger out of balance: replica_restarts "
+                f"{self.replica_restarts} exceeds injected_crash "
+                f"{self.injected_crash}")
+        if self.readmissions > self.ejections:
+            raise SimulationError(
+                f"fault ledger out of balance: readmissions "
+                f"{self.readmissions} exceed ejections {self.ejections}")
+        if self.hedge_wins + self.hedge_discards > self.hedges:
+            raise SimulationError(
+                f"fault ledger out of balance: hedge_wins {self.hedge_wins} "
+                f"+ hedge_discards {self.hedge_discards} exceed launched "
+                f"hedges {self.hedges}")
+        if self.failovers + self.orphan_failed > self.orphaned:
+            raise SimulationError(
+                f"fault ledger out of balance: failovers {self.failovers} "
+                f"+ orphan_failed {self.orphan_failed} exceed orphaned "
+                f"{self.orphaned}")
 
 
 class FaultInjector:
@@ -96,10 +138,39 @@ class FaultInjector:
             s for s in plan.specs if s.kind == "ring_error"]
         self.pressure_specs: List[FaultSpec] = [
             s for s in plan.specs if s.kind == "mem_pressure"]
+        self.replica_specs: List[FaultSpec] = [
+            s for s in plan.specs if s.kind in REPLICA_KINDS]
 
     # ------------------------------------------------------------------
     def _rng(self, spec: FaultSpec) -> np.random.Generator:
         return self.streams.get(f"fault:{spec.fault_id}")
+
+    # ------------------------------------------------------------------
+    # Replica failure domain.  The serve resilience plane walks each
+    # spec's discrete episodes (FaultSpec.episode_start) and asks the
+    # injector — the sole owner of the per-fault streams — whether the
+    # episode fires and which replica it targets.  Draws are consumed in
+    # episode order per spec, so plans replay bit-for-bit.
+
+    def draw_episode(self, spec: FaultSpec) -> bool:
+        """Whether this episode of *spec* fires (per-fault stream)."""
+        if spec.probability >= 1.0:
+            return True
+        return bool(self._rng(spec).random() < spec.probability)
+
+    def draw_replica(self, spec: FaultSpec, num_replicas: int) -> int:
+        """Target replica for an episode of *spec*.
+
+        Pinned specs (``replica >= 0``) return the pinned index modulo
+        the replica count (so a single-replica server still exercises
+        the plan); ``replica == -1`` draws uniformly from the fault's
+        own stream.
+        """
+        if num_replicas <= 0:
+            raise SimulationError("draw_replica needs at least one replica")
+        if spec.replica >= 0:
+            return spec.replica % num_replicas
+        return int(self._rng(spec).integers(0, num_replicas))
 
     # ------------------------------------------------------------------
     def service_multipliers(self, times: np.ndarray,

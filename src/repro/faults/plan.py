@@ -26,6 +26,25 @@ Fault taxonomy (``FaultSpec.kind``):
     A host-memory pressure episode: an external consumer transiently
     claims ``fraction`` of host capacity (or ``nbytes``), shrinking the
     page-cache budget and making pinned allocation fail transiently.
+``replica_crash``
+    A serve replica dies at the window start: its in-flight extraction
+    state is destroyed, queued jobs are orphaned (rescued by failover),
+    and the replica restarts cold after ``duration`` simulated seconds
+    (then re-admits through health-checker probation).
+``replica_hang``
+    A serve replica freezes for ``duration``: it stops responding to
+    health probes and makes no progress, but keeps its jobs; on resume
+    it reprocesses them (hedged requests cover the stall's tail).
+``replica_slow``
+    A serve replica degrades: its compute times are multiplied by
+    ``factor`` over the window (brownout-grade degradation without
+    losing state).
+
+The three ``replica_*`` kinds target one replica via ``replica`` (or
+draw one uniformly per episode when ``replica`` is -1) and fire each
+periodic episode with ``probability``; they are consumed by the serving
+resilience plane (:mod:`repro.serve.resilience`), not by the storage
+stack — a training machine ignores them.
 
 Windows: ``start``/``duration`` define one episode; ``period > 0``
 repeats it every period (bounded by ``repeats``; 0 = unbounded).
@@ -44,7 +63,11 @@ from repro.errors import ConfigError
 
 #: Recognised fault kinds.
 FAULT_KINDS = ("read_error", "tail_latency", "throttle", "ring_error",
-               "mem_pressure")
+               "mem_pressure", "replica_crash", "replica_hang",
+               "replica_slow")
+
+#: The replica failure-domain kinds (serving plane).
+REPLICA_KINDS = ("replica_crash", "replica_hang", "replica_slow")
 
 #: CQE status codes (negated errno, like the real io_uring ABI).
 EIO = 5
@@ -76,6 +99,9 @@ class FaultSpec:
     file: Optional[str] = None
     range_start: int = -1
     range_end: int = -1
+    #: ``replica_*`` targeting: replica index (-1 = drawn uniformly from
+    #: the serving replicas at each episode, from the fault's stream).
+    replica: int = -1
 
     def __post_init__(self):
         if not self.fault_id or not isinstance(self.fault_id, str):
@@ -141,6 +167,23 @@ class FaultSpec:
             raise ConfigError(
                 f"fault {self.fault_id!r}: file targeting applies to "
                 "read_error faults only")
+        if self.replica != -1 and self.kind not in REPLICA_KINDS:
+            raise ConfigError(
+                f"fault {self.fault_id!r}: replica targeting applies to "
+                "replica_* faults only")
+        if self.kind in REPLICA_KINDS:
+            if self.replica < -1:
+                raise ConfigError(
+                    f"fault {self.fault_id!r}: replica must be >= 0 "
+                    f"(or -1 for a drawn target), got {self.replica!r}")
+            if math.isinf(self.duration):
+                raise ConfigError(
+                    f"fault {self.fault_id!r}: {self.kind} needs a "
+                    "finite duration (the outage/stall window)")
+            if self.kind == "replica_slow" and self.factor <= 1.0:
+                raise ConfigError(
+                    f"fault {self.fault_id!r}: replica_slow needs "
+                    f"factor > 1, got {self.factor!r}")
 
     # ------------------------------------------------------------------
     def active(self, t: float) -> bool:
@@ -167,6 +210,21 @@ class FaultSpec:
             mask &= k < self.repeats
         return mask
 
+    def episode_start(self, k: int) -> Optional[float]:
+        """Start time of episode *k* (0-based), or None past the last.
+
+        Non-periodic specs have exactly one episode; the replica chaos
+        drivers walk episodes with this instead of evaluating windows,
+        since replica faults are discrete events, not rate modifiers.
+        """
+        if k < 0:
+            raise ValueError("episode index must be >= 0")
+        if self.period <= 0:
+            return self.start if k == 0 else None
+        if self.repeats and k >= self.repeats:
+            return None
+        return self.start + k * self.period
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -189,6 +247,16 @@ class FaultPlan:
     @property
     def is_empty(self) -> bool:
         return not self.specs
+
+    @property
+    def replica_specs(self) -> Tuple[FaultSpec, ...]:
+        """The replica failure-domain specs (serving plane)."""
+        return tuple(s for s in self.specs if s.kind in REPLICA_KINDS)
+
+    @property
+    def has_replica_faults(self) -> bool:
+        """True when any spec targets the replica failure domain."""
+        return any(s.kind in REPLICA_KINDS for s in self.specs)
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -279,4 +347,24 @@ def default_chaos_plan(seed: int = 7) -> FaultPlan:
                   start=0.01, duration=0.005, period=0.035),
         FaultSpec("noisy-neighbor", "mem_pressure", fraction=0.06,
                   start=0.015, duration=0.004, period=0.045, repeats=400),
+    ), seed=seed)
+
+
+def default_replica_chaos_plan(seed: int = 11) -> FaultPlan:
+    """The canned replica-chaos plan used by ``bench chaos_serve``.
+
+    Windows are sized for the tiny serving workloads (a 60-80 request
+    run at a few hundred req/s spans ~0.2-0.4 simulated seconds), so a
+    run crosses several crash, hang, and slowdown episodes.  Hang
+    stalls are several times the hedge delay floor, so hedged requests
+    measurably beat the unhedged tail; crash outages are longer than
+    the health probation, so restarted replicas genuinely re-admit.
+    """
+    return FaultPlan((
+        FaultSpec("replica-crash", "replica_crash", replica=1,
+                  start=0.02, duration=0.015, period=0.09),
+        FaultSpec("replica-hang", "replica_hang", replica=0,
+                  start=0.045, duration=0.012, period=0.08),
+        FaultSpec("replica-slow", "replica_slow", factor=4.0,
+                  start=0.01, duration=0.02, period=0.11),
     ), seed=seed)

@@ -43,6 +43,36 @@ class RetryPolicy:
         return sum(self.delay(i) for i in range(self.max_retries))
 
 
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Hedged-request policy for the serving resilience plane.
+
+    After a request has waited ``max(min_delay, quantile(latency))``
+    without completing, a second attempt is launched on another healthy
+    replica; the first completion wins and the loser is cancelled.  The
+    delay floor keeps cold-start runs (empty latency history) from
+    hedging every request.
+    """
+
+    quantile: float = 0.95
+    min_delay: float = 2e-3
+    max_hedges: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.quantile < 1.0:
+            raise ConfigError("hedge quantile must be in (0, 1)")
+        if self.min_delay <= 0:
+            raise ConfigError("hedge min_delay must be positive")
+        if self.max_hedges < 0:
+            raise ConfigError("max_hedges must be >= 0")
+
+    def delay(self, observed_quantile: Optional[float]) -> float:
+        """Hedge delay given the currently observed latency quantile."""
+        if observed_quantile is None:
+            return self.min_delay
+        return max(self.min_delay, observed_quantile)
+
+
 def reserve_staging_with_backoff(machine, staging, nodes: int,
                                  portion: int = 0) -> Generator:
     """Staging reservation with bounded backoff under fault plans.

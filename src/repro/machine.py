@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Generator, List, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InterruptError
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.memory import DeviceMemory, HostMemory, PCIeLink
 from repro.models.costmodel import (
@@ -214,7 +214,15 @@ class Machine:
     # ------------------------------------------------------------------
     def cpu_task(self, duration: float) -> Generator:
         """Occupy one CPU core for *duration* simulated seconds."""
-        yield self.cpu.request()
+        req = self.cpu.request()
+        try:
+            yield req
+        except InterruptError:
+            # A replica-fault interrupt landed while the core request
+            # was pending/granted; withdraw it or the unit leaks to a
+            # dead process (serve resilience plane, PR 8).
+            self.cpu.cancel(req)
+            raise
         self.probe.cpu.enter()
         try:
             yield self.sim.timeout(duration)

@@ -446,6 +446,64 @@ class ServeLoadP99Monotone(Oracle):
         return []
 
 
+class ReplicaChaosBounded(Oracle):
+    """Replica faults never help, and an empty replica plan is a no-op.
+
+    Two laws over the serving resilience plane:
+
+    * injecting replica crash/hang/slow episodes can only *reduce*
+      goodput (modulo scheduling jitter) — recovery machinery may bound
+      the damage but cannot out-perform the undamaged system;
+    * a plan with no replica specs leaves the resilience plane unarmed,
+      so the run is bit-identical (same trace digest) to a plain run.
+    """
+
+    name = "serve-replica-chaos-bounded"
+    kind = "metamorphic"
+    description = ("replica faults never raise serving goodput; "
+                   "an empty plan is digest-identical")
+    RATE = 400.0
+    NUM_REQUESTS = 40
+    #: Same scheduling-jitter argument as ``ServeLoadP99Monotone``.
+    TOLERANCE = 0.05
+
+    def applicable(self, runner: ScenarioRunner) -> bool:
+        # Chaos-gated like the other metamorphic serving laws: fault
+        # windows are wall-clock anchored, so only the no-fault
+        # scenarios give a clean baseline.
+        return runner.scenario.fault_plan == "none"
+
+    def check(self, runner: ScenarioRunner) -> List[Violation]:
+        from repro.serve import ServeScenario, run_serve_scenario
+        sc = runner.scenario
+        base = ServeScenario(
+            name=f"{sc.name}-rserve", dataset=sc.dataset,
+            dataset_scale=sc.dataset_scale, host_gb=sc.host_gb,
+            backend="async", kind="poisson", rate=self.RATE,
+            num_requests=self.NUM_REQUESTS, num_replicas=2,
+            model_kind=sc.model_kind, seed=sc.seed)
+        clean = run_serve_scenario(base)
+        if not clean.ok:
+            return []
+        out: List[Violation] = []
+        empty = run_serve_scenario(base.with_(fault_plan="empty"))
+        if empty.ok and empty.digest != clean.digest:
+            out.append(self._violation(
+                runner, "empty fault plan changed the serve trace "
+                        f"digest ({clean.digest[:12]} -> "
+                        f"{empty.digest[:12]})"))
+        chaos = run_serve_scenario(base.with_(fault_plan="replica-chaos"))
+        if chaos.ok:
+            g_clean = clean.stats.goodput
+            g_chaos = chaos.stats.goodput
+            if g_chaos > g_clean * (1 + self.TOLERANCE):
+                out.append(self._violation(
+                    runner, f"goodput rose {g_clean:.6g} -> "
+                            f"{g_chaos:.6g} req/s under replica "
+                            f"chaos"))
+        return out
+
+
 class SanitizerClean(Oracle):
     """Every run of the scenario is sanitizer-clean (no findings)."""
 
@@ -477,6 +535,7 @@ ORACLES = (
     SSDChannelsTimeMonotone(),
     EpochPrefixStable(),
     ServeLoadP99Monotone(),
+    ReplicaChaosBounded(),
 )
 
 

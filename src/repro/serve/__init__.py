@@ -14,6 +14,9 @@ queueing system under open-loop load:
   across requests) vs. a PyG+-style sync baseline via the page cache;
 * :mod:`repro.serve.server` — replicas, SLO accounting,
   :class:`repro.core.stats.ServeStats`;
+* :mod:`repro.serve.resilience` — the replica failure domain: health
+  checking, circuit-breaker routing, crash failover, hedged requests,
+  and brownout degradation (armed under ``replica_*`` fault plans);
 * :mod:`repro.serve.scenario` — JSON round-trippable serve scenarios
   for the oracle/golden harness.
 """
@@ -21,6 +24,8 @@ queueing system under open-loop load:
 from repro.serve.backends import AsyncServeBackend, SyncServeBackend
 from repro.serve.batcher import AdmissionQueue, Job, MicroBatcher
 from repro.serve.config import ServeConfig, WorkloadSpec
+from repro.serve.resilience import (Attempt, JobQueue, ReplicaState,
+                                    ResiliencePlane)
 from repro.serve.scenario import (ServeRun, ServeScenario,
                                   run_serve_scenario)
 from repro.serve.server import InferenceServer
@@ -30,10 +35,14 @@ from repro.serve.workload import (Request, build_requests,
 __all__ = [
     "AdmissionQueue",
     "AsyncServeBackend",
+    "Attempt",
     "InferenceServer",
     "Job",
+    "JobQueue",
     "MicroBatcher",
+    "ReplicaState",
     "Request",
+    "ResiliencePlane",
     "ServeConfig",
     "ServeRun",
     "ServeScenario",

@@ -67,6 +67,19 @@ class SyncServeBackend:
                                                  tag="batch")
             self._cur_alloc = 0
 
+    def abort_batch(self) -> None:
+        """Undo in-flight extraction state (replica hang/cancel path)."""
+        self.release(None)
+
+    def crash_teardown(self) -> None:
+        """Reclaim everything a dying replica held.
+
+        The page cache is the OS's, not the replica's — its contents
+        survive a process crash, so only the device-side batch
+        allocation needs reclaiming.
+        """
+        self.release(None)
+
     @property
     def reused_nodes(self) -> int:
         return 0
@@ -113,6 +126,12 @@ class AsyncServeBackend:
                                  tag="feature-buffer")
         self.ring = AsyncRing(m.sim, m.ssd, depth=config.io_depth,
                               direct=config.direct_io)
+        #: In-flight extraction state, tracked so an abnormal exit
+        #: (replica crash/hang interrupt) can reclaim what the batch
+        #: held: nodes with live buffer references and the staging
+        #: reservation outstanding for them.
+        self._inflight: Optional[np.ndarray] = None
+        self._staged = 0
         if m.sim.sanitizer is not None:
             m.sim.sanitizer.register(self.feature_buffer)
 
@@ -122,6 +141,7 @@ class AsyncServeBackend:
         handle = self.dataset.feat_handle
         record = self.dataset.features.record_nbytes
         cls = fb.begin_batch(nodes)
+        self._inflight = nodes
         pending = cls.needs_load
         while len(pending):
             _, pending = fb.allocate_slots(pending)
@@ -131,6 +151,7 @@ class AsyncServeBackend:
         if self.staging is not None:
             yield from reserve_staging_with_backoff(
                 m, self.staging, len(to_load), self.replica)
+            self._staged = len(to_load)
         yield from m.cpu_task(PER_BATCH_COST
                               + len(nodes) * PER_NODE_SUBMIT_COST)
         if len(to_load):
@@ -155,6 +176,7 @@ class AsyncServeBackend:
             fb.finish_load(to_load)
         if self.staging is not None:
             self.staging.free(len(to_load), self.replica)
+            self._staged = 0
         # One extractor per buffer -> wait_nodes is always empty here.
         aliases = fb.resolve_aliases(nodes)
         self.ring.widen()
@@ -163,6 +185,38 @@ class AsyncServeBackend:
     def release(self, nodes: np.ndarray) -> None:
         """Drop references; mappings survive on standby (warm reuse)."""
         self.feature_buffer.release(nodes)
+        self._inflight = None
+
+    def abort_batch(self) -> None:
+        """Undo in-flight extraction state without losing the cache.
+
+        The hang/cancel path: the interrupted batch's references and
+        staging reservation are returned, but warm mappings survive so
+        the replica resumes with its locality intact.
+        """
+        if self._staged:
+            self.staging.free(self._staged, self.replica)
+            self._staged = 0
+        if self._inflight is not None:
+            self.feature_buffer.release(self._inflight)
+            self._inflight = None
+
+    def crash_teardown(self) -> None:
+        """Reclaim everything a dying replica held.
+
+        Beyond :meth:`abort_batch`'s reference/staging cleanup, a crash
+        destroys the device-resident buffer contents and the ring: the
+        restarted incarnation must observe a cold cache and a fresh ring
+        at the configured depth — and the shared pinned staging must not
+        retain the dead replica's reservation (the pinned-leak sweep
+        would flag it at the next epoch boundary).
+        """
+        if self._staged:
+            self.staging.free(self._staged, self.replica)
+            self._staged = 0
+        self._inflight = None
+        self.ring.reset()
+        self.feature_buffer.reset_cold()
 
     @property
     def reused_nodes(self) -> int:

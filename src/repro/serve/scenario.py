@@ -13,12 +13,14 @@ from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.base import TrainConfig
-from repro.errors import OutOfMemoryError, OutOfTimeError
-from repro.faults import EMPTY_PLAN, default_chaos_plan
+from repro.errors import (OutOfMemoryError, OutOfTimeError,
+                          SimulationError)
+from repro.faults import (EMPTY_PLAN, default_chaos_plan,
+                          default_replica_chaos_plan)
 from repro.machine import DEFAULT_SCALE, Machine, MachineSpec
 from repro.serve.config import ServeConfig, WorkloadSpec
 
-_FAULT_PLANS = ("none", "empty", "chaos")
+_FAULT_PLANS = ("none", "empty", "chaos", "replica-chaos")
 
 
 @dataclass(frozen=True)
@@ -41,12 +43,22 @@ class ServeScenario:
     queue_capacity: int = 64
     model_kind: str = "sage"
     fault_plan: str = "none"
+    #: Path to a FaultPlan JSON file (``repro serve --faults``); mutually
+    #: exclusive with a non-"none" ``fault_plan`` preset.
+    fault_plan_file: Optional[str] = None
+    #: Hedged requests (effective only when the resilience plane arms,
+    #: i.e. under a ``replica-chaos`` plan); the chaos-serve bench flips
+    #: this to measure the hedging p99 win on an identical plan/seed.
+    hedge: bool = True
     seed: int = 0
 
     def __post_init__(self):
         if self.fault_plan not in _FAULT_PLANS:
             raise ValueError(f"unknown fault plan {self.fault_plan!r}; "
                              f"known: {_FAULT_PLANS}")
+        if self.fault_plan_file is not None and self.fault_plan != "none":
+            raise ValueError("fault_plan_file and fault_plan are mutually "
+                             "exclusive; pick one")
         if not 0 < self.dataset_scale <= 1.0:
             raise ValueError("dataset_scale must be in (0, 1]")
         if not self.host_gb > 0:
@@ -79,7 +91,8 @@ class ServeScenario:
                            queue_capacity=self.queue_capacity,
                            slo=self.slo,
                            max_batch_size=self.max_batch_size,
-                           max_wait=self.max_wait)
+                           max_wait=self.max_wait,
+                           hedge=self.hedge)
 
     def train_config(self) -> TrainConfig:
         return TrainConfig(model_kind=self.model_kind, seed=self.seed)
@@ -93,10 +106,15 @@ class ServeScenario:
             faults=self.resolve_fault_plan())
 
     def resolve_fault_plan(self):
+        if self.fault_plan_file is not None:
+            from repro.faults import load_plan
+            return load_plan(self.fault_plan_file)
         if self.fault_plan == "empty":
             return EMPTY_PLAN
         if self.fault_plan == "chaos":
             return default_chaos_plan()
+        if self.fault_plan == "replica-chaos":
+            return default_replica_chaos_plan()
         return None
 
 
@@ -155,12 +173,18 @@ def run_serve_scenario(scenario: ServeScenario,
     if san is not None and san.races is not None:
         san.races.finalize()
         race_report = san.races.report_dict()
+    findings = [f.render() for f in san.findings] if san else []
+    if status == "ok" and machine.faults is not None:
+        try:
+            machine.faults.ledger.check_invariants()
+        except SimulationError as exc:
+            findings.append(f"fault-ledger: {exc}")
     return ServeRun(
         scenario=scenario,
         status=status,
         stats=stats,
         digest=san.trace_digest() if san is not None else "",
         trace=list(san.trace) if san is not None else None,
-        findings=[f.render() for f in san.findings] if san else [],
+        findings=findings,
         race_report=race_report,
         error=error)

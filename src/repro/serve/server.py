@@ -10,10 +10,16 @@ Data path (architecture.md §10)::
                                                             │
                             latency recorder <── resolve ──┘
 
-Every request ends in exactly one of three states — completed, shed at
-admission, or timed out in queue — so ``offered == completed + shed +
-timed_out`` holds as a checked invariant
+Every request ends in exactly one terminal state — completed, shed at
+admission, timed out in queue, or (replica chaos only) failed after the
+failover budget — so ``offered == completed + shed + timed_out +
+failed`` holds as a checked invariant
 (:meth:`repro.core.stats.ServeStats.check_accounting`).
+
+When the fault plan carries ``replica_*`` specs (or resilience is
+forced on), dispatch is delegated to the
+:class:`~repro.serve.resilience.ResiliencePlane`; otherwise the PR 5
+round-robin path below runs verbatim, bit-identical to its goldens.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.sampling import NeighborSampler
 from repro.serve.backends import AsyncServeBackend, SyncServeBackend
 from repro.serve.batcher import AdmissionQueue, Job, MicroBatcher
 from repro.serve.config import ServeConfig, WorkloadSpec
+from repro.serve.resilience import ResiliencePlane
 from repro.serve.workload import Request, build_requests
 from repro.simcore import LatencyRecorder, RandomStreams, Store
 from repro.simcore.engine import Event
@@ -85,6 +92,15 @@ class InferenceServer:
         self._act_reserve = int(observed_act
                                 * config.batch_nodes_margin) // 2
 
+        # Arm the resilience plane when asked to, or automatically when
+        # the machine's fault plan targets the replica failure domain.
+        plan_specs = (list(m.faults.replica_specs)
+                      if m.faults is not None else [])
+        self.resilience: Optional[ResiliencePlane] = None
+        if config.resilience == "on" or (config.resilience == "auto"
+                                         and plan_specs):
+            self.resilience = ResiliencePlane(self, plan_specs)
+
         self.queue = AdmissionQueue(m.sim, config.queue_capacity)
         model_bytes = (self.model.num_parameters() * 4)
         record = dataset.features.record_nbytes
@@ -108,7 +124,8 @@ class InferenceServer:
             else:
                 backend = SyncServeBackend(m, dataset, config, r)
             self.backends.append(backend)
-            self._job_qs.append(Store(m.sim, 2, f"serve-jobs{r}"))
+            if self.resilience is None:
+                self._job_qs.append(Store(m.sim, 2, f"serve-jobs{r}"))
             self._samplers.append(NeighborSampler(
                 dataset.graph, self.fanouts,
                 self.streams.fork("serve-sampler", r)))
@@ -125,6 +142,7 @@ class InferenceServer:
         self.timed_out = 0
         self.slo_miss = 0
         self.completed = 0
+        self.failed = 0
         self._resolved = 0
         self._done: Event = m.sim.event()
         self._completion_events: Dict[int, Event] = {}
@@ -157,12 +175,43 @@ class InferenceServer:
 
     def _admit(self, req: Request) -> bool:
         """Deadline-based drop: a request that cannot start before its
-        deadline can no longer meet the SLO — drop it at dequeue."""
-        if self.machine.sim.now > req.deadline:
+        deadline can no longer meet the SLO — drop it at dequeue.
+        Under brownout the deadline tightens, shedding work earlier to
+        preserve goodput for what is still accepted."""
+        deadline = req.deadline
+        if self.resilience is not None and self.resilience.brownout:
+            deadline = req.arrival + (self.config.slo
+                                      * self.config.brownout_deadline_scale)
+        if self.machine.sim.now > deadline:
             req.status = "timeout"
             self.timed_out += 1
             self._resolve(req)
             return False
+        return True
+
+    def _complete_request(self, req: Request, now: float) -> bool:
+        """Claim *req* as completed; False if already terminal.
+
+        The exactly-once gate: hedged and failed-over attempts race to
+        this guard, and only the first claim records latency/SLO."""
+        if req.status != "pending":
+            return False
+        req.status = "ok"
+        req.completed = now
+        self.completed += 1
+        self.recorder.record(req.arrival, now)
+        if req.latency > self.config.slo:
+            self.slo_miss += 1
+        self._resolve(req)
+        return True
+
+    def _fail_request(self, req: Request) -> bool:
+        """Abandon *req* (failover budget exhausted); exactly-once."""
+        if req.status != "pending":
+            return False
+        req.status = "failed"
+        self.failed += 1
+        self._resolve(req)
         return True
 
     # ------------------------------------------------------------------
@@ -200,54 +249,65 @@ class InferenceServer:
         """Round-robin sealed jobs over the replica job queues."""
         yield self._job_qs[job.batch_id % self.config.num_replicas].put(job)
 
-    def _worker_proc(self, r: int) -> Generator:
+    def _process_job(self, r: int, job: Job,
+                     factor: float = 1.0) -> Generator:
+        """The per-job pipeline on replica *r*: sample -> topo access ->
+        extract -> infer -> release.  *factor* scales compute times
+        (``replica_slow`` degradation; 1.0 is exact — the legacy path is
+        event-identical).  Completion accounting stays with the caller:
+        the legacy worker claims every request, the resilience plane
+        runs its first-completion-wins arbitration."""
         m = self.machine
-        cfg = self.config
         backend = self.backends[r]
         sampler = self._samplers[r]
         gpu = m.gpus[r]
+        seeds = np.concatenate([req.seeds for req in job.requests])
+        sub = sampler.sample(seeds)
+        for frontier in sub.hop_frontiers:
+            yield from topo_access_with_retry(
+                m, m.page_cache, self.dataset.topo_handle,
+                self.dataset.graph, frontier)
+        yield from m.cpu_task(m.cpu_cost.sample_compute_time(
+            sum(len(f) for f in sub.hop_frontiers),
+            sub.total_edges()) * factor)
+        feats = yield from backend.extract(sub.all_nodes)
+        duration = m.gpu_cost.forward_time(
+            self.train_cfg.model_kind, sub.layer_sizes(),
+            self.dims) * factor
+        act = activation_bytes(sub, self.dims) // 2  # no grads
+        # sim-race: ordered -- worker r owns gpus[r] exclusively
+        # (one worker per replica); instances touch disjoint devices.
+        gpu.allocate(act, tag="activations")
+        try:
+            yield from m.gpu_task(r, duration)
+        finally:
+            gpu.free(act, tag="activations")
+        predict(self.model, feats, sub)
+        backend.release(sub.all_nodes)
+        self._batches += 1
+        self._batched_requests += len(job.requests)
+
+    def _worker_proc(self, r: int) -> Generator:
         while True:
             job = yield self._job_qs[r].get()
             if job is SHUTDOWN:
                 return
-            seeds = np.concatenate([req.seeds for req in job.requests])
-            sub = sampler.sample(seeds)
-            for frontier in sub.hop_frontiers:
-                yield from topo_access_with_retry(
-                    m, m.page_cache, self.dataset.topo_handle,
-                    self.dataset.graph, frontier)
-            yield from m.cpu_task(m.cpu_cost.sample_compute_time(
-                sum(len(f) for f in sub.hop_frontiers),
-                sub.total_edges()))
-            feats = yield from backend.extract(sub.all_nodes)
-            duration = m.gpu_cost.forward_time(
-                self.train_cfg.model_kind, sub.layer_sizes(), self.dims)
-            act = activation_bytes(sub, self.dims) // 2  # no grads
             # sim-race: ordered -- worker r owns gpus[r] exclusively
             # (one worker per replica); instances touch disjoint devices.
-            gpu.allocate(act, tag="activations")
-            try:
-                yield from m.gpu_task(r, duration)
-            finally:
-                gpu.free(act, tag="activations")
-            predict(self.model, feats, sub)
-            backend.release(sub.all_nodes)
-            now = m.sim.now
-            self._batches += 1
-            self._batched_requests += len(job.requests)
+            yield from self._process_job(r, job)
+            now = self.machine.sim.now
             for req in job.requests:
-                req.status = "ok"
-                req.completed = now
-                self.completed += 1
-                self.recorder.record(req.arrival, now)
-                if req.latency > cfg.slo:
-                    self.slo_miss += 1
-                self._resolve(req)
+                self._complete_request(req, now)
 
     def _check_actors(self) -> None:
         for p in self._actors:
             if not p.is_alive and not p.ok:
                 raise p._value
+
+    def watch_actor(self, proc) -> None:
+        """Adopt a late-spawned process (replica restarts, hedges) into
+        the failure-propagation and shutdown-drain set."""
+        self._actors.append(proc)
 
     # ------------------------------------------------------------------
     def run(self) -> ServeStats:
@@ -269,14 +329,19 @@ class InferenceServer:
         else:
             self._actors.append(sim.process(self._injector_proc(),
                                             name="injector"))
+        dispatch = (self._dispatch if self.resilience is None
+                    else self.resilience.dispatch)
         batcher = MicroBatcher(sim, self.queue, cfg.max_batch_size,
-                               cfg.max_wait, self._dispatch,
+                               cfg.max_wait, dispatch,
                                admit=self._admit)
         self.batcher = batcher
         self._actors.append(sim.process(batcher.run(), name="batcher"))
-        for r in range(cfg.num_replicas):
-            self._actors.append(sim.process(self._worker_proc(r),
-                                            name=f"serve-worker{r}"))
+        if self.resilience is None:
+            for r in range(cfg.num_replicas):
+                self._actors.append(sim.process(self._worker_proc(r),
+                                                name=f"serve-worker{r}"))
+        else:
+            self._actors.extend(self.resilience.actors())
         self._started = True
 
         sim.run_until_triggered(self._done, each_event=self._check_actors)
@@ -306,6 +371,7 @@ class InferenceServer:
             slo_miss=self.slo_miss,
             duration=duration,
             offered_rate=rate,
+            failed=self.failed,
             latency_p50=rec.quantile(0.50),
             latency_p95=rec.quantile(0.95),
             latency_p99=rec.quantile(0.99),
@@ -333,6 +399,8 @@ class InferenceServer:
             return
         if not self.queue.closed:
             self.queue.close()
+        if self.resilience is not None:
+            self.resilience.close_queues()
         for q in self._job_qs:
             q.put(SHUTDOWN)
         self.machine.sim.drain(self._actors)

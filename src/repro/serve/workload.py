@@ -19,7 +19,9 @@ from repro.simcore import RandomStreams
 
 #: Request lifecycle states; exactly one terminal state per request
 #: (the accounting identity of :class:`repro.core.stats.ServeStats`).
-STATUSES = ("pending", "ok", "shed", "timeout")
+#: ``failed`` is reached only under replica faults, when the failover
+#: budget for a crash-orphaned request runs out.
+STATUSES = ("pending", "ok", "shed", "timeout", "failed")
 
 
 @dataclass

@@ -68,6 +68,22 @@ class Resource:
                 det.on_block(self, "request", ev)
         return ev
 
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a request, pending or already granted.
+
+        The interrupt-unwind path: a process killed while blocked on (or
+        holding) a request event must give the unit back, or the grant
+        would be handed to a dead process and the unit lost forever.
+        Safe to call from the interrupted process's own unwind.
+        """
+        if ev.triggered:
+            self.release()
+            return
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            pass  # already granted-and-consumed or never queued here
+
     def release(self) -> None:
         """Return one unit; wakes the oldest waiter if any."""
         if self.in_use <= 0:

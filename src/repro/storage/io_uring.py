@@ -113,6 +113,18 @@ class AsyncRing:
             self.depth = min(self.initial_depth, self.depth * 2)
         return self.depth
 
+    def reset(self) -> None:
+        """Discard unsubmitted SQEs and restore the configured depth.
+
+        Crash teardown for the serving resilience plane: a replica that
+        dies mid-extraction abandons whatever it had queued but not yet
+        submitted, and its restarted incarnation opens a fresh ring at
+        the configured depth.
+        """
+        self._sq.clear()
+        self.depth = self.initial_depth
+        self.last_res = None
+
     # ------------------------------------------------------------------
     @staticmethod
     def _padded_nbytes(handle: FileHandle) -> int:

@@ -1,0 +1,107 @@
+"""Property tests for the replica failure domain.
+
+1. **Hedge first-completion-wins is deterministic and conservative.**
+   For any permutation of the fault-plan spec order — which permutes
+   the creation order of the driver processes and therefore the
+   same-timestamp event cohorts — every request still reaches exactly
+   one terminal state, the hedge ledger balances
+   (``wins + discards <= hedges``), and re-running the same permutation
+   reproduces the same trace digest bit-for-bit (the winner of a
+   primary/hedge race is decided by deterministic cohort order, never
+   wall-clock).
+
+2. **Failover never double-completes or double-sheds.**  For arbitrary
+   crash schedules and failover budgets, the accounting identity
+   ``offered == completed + shed + timed_out + failed`` holds — a
+   double-completion or double-shed would break it — and the fault
+   ledger balance rules pass (checked inside ``run_serve_scenario``;
+   a violation surfaces as a finding).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, FaultSpec, default_replica_chaos_plan
+from repro.serve import ServeScenario, run_serve_scenario
+
+pytestmark = [pytest.mark.serve, pytest.mark.chaos]
+
+BASE = ServeScenario(name="p-chaos", dataset="tiny", rate=500.0,
+                     num_requests=24, num_replicas=2, slo=0.05,
+                     fault_plan="none", seed=3)
+
+
+def _run_with_plan(plan, **kw):
+    import tempfile
+    path = tempfile.mktemp(suffix=".json")
+    plan.save(path)
+    return run_serve_scenario(BASE.with_(fault_plan_file=path, **kw))
+
+
+@settings(max_examples=10, deadline=None)
+@given(order=st.permutations(range(3)),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_hedge_first_completion_wins_deterministic(order, seed):
+    specs = default_replica_chaos_plan().specs
+    plan = FaultPlan(tuple(specs[i] for i in order), seed=11)
+    first = _run_with_plan(plan, seed=seed)
+    again = _run_with_plan(plan, seed=seed)
+    assert first.ok and again.ok, (first.error, again.error)
+    assert first.clean, first.findings
+    # Same permutation, same seed -> bit-identical winner selection.
+    assert first.digest and first.digest == again.digest
+    assert first.stats.faults == again.stats.faults
+    s = first.stats
+    # Conservation: exactly one terminal state per request.
+    s.check_accounting()
+    assert s.completed + s.shed + s.timed_out + s.failed == s.offered
+    wins = s.faults.get("hedge_wins", 0)
+    discards = s.faults.get("hedge_discards", 0)
+    assert wins + discards <= s.faults.get("hedges", 0)
+
+
+crash_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=-1, max_value=2),          # replica target
+        st.floats(min_value=0.002, max_value=0.04,       # start
+                  allow_nan=False),
+        st.floats(min_value=0.005, max_value=0.03,       # duration
+                  allow_nan=False),
+    ),
+    min_size=1, max_size=3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(raw=crash_specs,
+       budget=st.integers(min_value=0, max_value=3),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_failover_never_double_completes(raw, budget, seed):
+    from repro.bench.runner import get_dataset
+    from repro.machine import DEFAULT_SCALE, Machine, MachineSpec
+    from repro.serve.server import InferenceServer
+
+    specs = tuple(
+        FaultSpec(f"crash{i}", "replica_crash", replica=rep,
+                  start=start, duration=dur,
+                  period=dur + 0.02)
+        for i, (rep, start, dur) in enumerate(raw))
+    sc = BASE.with_(rate=1500.0, seed=seed)
+    machine = Machine(MachineSpec.paper_scaled(
+        host_gb=sc.host_gb, scale=DEFAULT_SCALE,
+        num_gpus=sc.num_replicas, sanitize=True,
+        faults=FaultPlan(specs, seed=5)))
+    server = InferenceServer(
+        machine, get_dataset("tiny"),
+        config=sc.serve_config().with_(failover_budget=budget),
+        workload=sc.workload_spec(), train_cfg=sc.train_config())
+    try:
+        stats = server.run()
+    finally:
+        server.teardown()
+    # Double-completion/shed would break the terminal-state identity.
+    stats.check_accounting()
+    s = stats
+    assert s.completed + s.shed + s.timed_out + s.failed == s.offered
+    machine.faults.ledger.check_invariants()
+    assert s.faults.get("failovers", 0) + s.faults.get(
+        "orphan_failed", 0) <= s.faults.get("orphaned", 0)
