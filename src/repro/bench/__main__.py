@@ -10,6 +10,9 @@ Subcommands::
     python -m repro.bench serve [-o BENCH_serve.json] [--smoke]
     python -m repro.bench chaos_serve [-o BENCH_chaos_serve.json] [--smoke]
     python -m repro.bench races [-o BENCH_races.json] [--check]
+    python -m repro.bench compare OLD.json NEW.json \
+        [--fail-on-regression] [--threshold PCT] [--alpha A] \
+        [--gate-kinds KIND,...] [--report FILE.md]
 
 ``hotpath`` runs the data-plane microbenchmarks (vectorized vs. seed
 reference implementations); ``simcore`` runs the event-plane benchmarks
@@ -34,12 +37,28 @@ detector, requiring zero unwaived conflicts, zero deadlock cycles, and
 bit-identical digests with the detector on or off (see
 :mod:`repro.bench.races`).  All write a JSON artifact and exit
 non-zero on failure.
+
+Every bench runs its measured phase through the repeated-run executor
+(:mod:`repro.bench.stats`): ``--runs N`` (or ``REPRO_BENCH_RUNS``)
+controls the recorded repetitions, and every artifact carries a
+``stats`` block with per-metric mean/stddev/percentiles, bootstrap
+confidence intervals and an environment fingerprint.  ``compare``
+diffs two such artifacts metric-by-metric with Welch's t-test and a
+CI-overlap heuristic, classifying each as improved / unchanged /
+regressed; ``--fail-on-regression`` turns that into the CI gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _add_runs(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--runs", type=int, default=None,
+        help="recorded repetitions of the measured phase (default: "
+             "REPRO_BENCH_RUNS or 5; warmup via REPRO_BENCH_WARMUP)")
 
 
 def main(argv=None) -> int:
@@ -140,28 +159,58 @@ def main(argv=None) -> int:
                     help="output JSON path (default: %(default)s)")
     rc.add_argument("--check", action="store_true",
                     help="CI smoke: first scenario only, one timing run")
-    rc.add_argument("--overhead-runs", type=int, default=3,
+    rc.add_argument("--overhead-runs", type=int, default=None,
                     help="timing repetitions for the overhead layer "
-                         "(default: %(default)s)")
+                         "(default: REPRO_BENCH_RUNS or 5)")
     rc.add_argument("--quiet", action="store_true",
                     help="suppress the per-run lines")
+    for p in (hp, sc, det, flt, orc, srv, cs):
+        _add_runs(p)
+    cp = sub.add_parser(
+        "compare",
+        help="statistical OLD-vs-NEW artifact comparison "
+             "(Welch's t-test + CI overlap, regression gate)")
+    cp.add_argument("old", help="baseline artifact (e.g. the committed "
+                                "BENCH_*.json)")
+    cp.add_argument("new", help="candidate artifact from a fresh run")
+    cp.add_argument("--threshold", type=float, default=None,
+                    help="minimum |mean shift| in percent to classify a "
+                         "change (default: 5)")
+    cp.add_argument("--alpha", type=float, default=None,
+                    help="Welch-test significance level (default: 0.05)")
+    cp.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 when any gated metric regressed")
+    cp.add_argument("--gate-kinds", default=None,
+                    help="comma-separated metric kinds eligible to fail "
+                         "the gate (e.g. 'simulated,count' for "
+                         "machine-independent CI gating; default: all)")
+    cp.add_argument("--report", default=None,
+                    help="also write the markdown diff table to FILE")
+    cp.add_argument("--json", dest="json_out", default=None,
+                    help="also write the full comparison as JSON to FILE")
+    cp.add_argument("--quiet", action="store_true",
+                    help="suppress the markdown table on stdout")
     args = parser.parse_args(argv)
+
+    if args.command == "compare":
+        return run_compare(args)
 
     if args.command == "hotpath":
         from repro.bench.hotpath import run_hotpath
-        artifact = run_hotpath(output=args.output, verbose=not args.quiet)
+        artifact = run_hotpath(output=args.output, verbose=not args.quiet,
+                               runs=args.runs)
         return 0 if artifact["targets_met"] else 1
     if args.command == "simcore":
         from repro.bench.simcore import run_simcore
         artifact = run_simcore(output=args.output, check=args.check,
-                               verbose=not args.quiet)
+                               verbose=not args.quiet, runs=args.runs)
         return 0 if artifact["targets_met"] else 1
     if args.command == "determinism":
         from repro.bench.determinism import DEFAULT_SYSTEMS, run_determinism
         artifact = run_determinism(
             systems=tuple(args.systems) if args.systems else DEFAULT_SYSTEMS,
             epochs=args.epochs, output=args.output,
-            verbose=not args.quiet)
+            verbose=not args.quiet, runs=args.runs)
         return 0 if artifact["deterministic"] else 1
     if args.command == "faults":
         from repro.bench.faults import run_faults
@@ -171,7 +220,7 @@ def main(argv=None) -> int:
         artifact = run_faults(
             systems=tuple(args.systems) if args.systems else SYSTEM_NAMES,
             plan=plan, epochs=args.epochs, output=args.output,
-            verbose=not args.quiet)
+            verbose=not args.quiet, runs=args.runs)
         return 0 if artifact["completed"] else 1
     if args.command == "oracle":
         from repro.bench.oracle import run_oracle, run_regen
@@ -179,18 +228,19 @@ def main(argv=None) -> int:
             return 0 if run_regen(verbose=not args.quiet)["ok"] else 1
         artifact = run_oracle(fuzz=args.fuzz, fuzz_seed=args.fuzz_seed,
                               golden=not args.no_golden,
-                              output=args.output, verbose=not args.quiet)
+                              output=args.output, verbose=not args.quiet,
+                              runs=args.runs)
         return 0 if artifact["ok"] else 1
     if args.command == "serve":
         from repro.bench.serve import run_serve_bench
         artifact = run_serve_bench(output=args.output, smoke=args.smoke,
                                    rates=args.rates,
-                                   verbose=not args.quiet)
+                                   verbose=not args.quiet, runs=args.runs)
         return 0 if artifact["ok"] else 1
     if args.command == "chaos_serve":
         from repro.bench.chaos_serve import run_chaos_serve
         artifact = run_chaos_serve(output=args.output, smoke=args.smoke,
-                                   verbose=not args.quiet)
+                                   verbose=not args.quiet, runs=args.runs)
         return 0 if artifact["ok"] else 1
     if args.command == "races":
         from repro.bench.races import run_races
@@ -199,6 +249,50 @@ def main(argv=None) -> int:
                              output=args.output, verbose=not args.quiet)
         return 0 if artifact["ok"] else 1
     return 2
+
+
+def run_compare(args) -> int:
+    """``compare`` subcommand: classify OLD -> NEW metric shifts."""
+    import json
+
+    from repro.bench import stats as bstats
+    from repro.bench.report import format_comparison_markdown
+    from repro.bench.results_io import load_artifact
+
+    try:
+        old_doc = load_artifact(args.old)
+        new_doc = load_artifact(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"compare: cannot load artifact: {exc}", file=sys.stderr)
+        return 2
+    threshold = (bstats.DEFAULT_THRESHOLD_PCT if args.threshold is None
+                 else args.threshold)
+    alpha = bstats.DEFAULT_ALPHA if args.alpha is None else args.alpha
+    report = bstats.compare_artifacts(old_doc, new_doc,
+                                      threshold_pct=threshold,
+                                      alpha=alpha)
+    gate_kinds = None
+    if args.gate_kinds:
+        gate_kinds = tuple(k.strip() for k in args.gate_kinds.split(",")
+                           if k.strip())
+    rendered = format_comparison_markdown(report)
+    if not args.quiet:
+        print(rendered)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(rendered + "\n")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1, default=str)
+            fh.write("\n")
+    regressions = report.regressions(gate_kinds)
+    if regressions and not args.quiet:
+        names = ", ".join(c.name for c in regressions)
+        print(f"\ncompare: {len(regressions)} gated regression(s): "
+              f"{names}", file=sys.stderr)
+    if args.fail_on_regression and regressions:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

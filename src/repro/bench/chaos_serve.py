@@ -30,11 +30,12 @@ run.
 
 from __future__ import annotations
 
-import json
 import math
 import os
 from typing import Dict, Optional
 
+from repro.bench import stats as bstats
+from repro.bench.results_io import save_artifact
 from repro.bench.serve import serve_stats_dict
 from repro.serve.scenario import ServeScenario, run_serve_scenario
 
@@ -80,10 +81,45 @@ def _chaos_point(scenario: ServeScenario) -> Dict:
     return point
 
 
+def _measured_phase(base: ServeScenario,
+                    plan: bstats.RunPlan) -> Dict[str, Dict]:
+    """Repeated hedged vs unhedged chaos runs, interleaved in the
+    seeded executor order.  The simulated tail latencies and terminal
+    counters are deterministic per plan + seed; wall time is the real
+    measurement."""
+
+    def case(scenario: ServeScenario):
+        def measure(_rep: int) -> Dict[str, float]:
+            point, dt = bstats.timed_call(lambda: _chaos_point(scenario))
+            out = {"wall_s": dt}
+            s = point.get("stats")
+            if s is not None:
+                out.update(p99_s=s["latency_p99"],
+                           completed=float(s["completed"]),
+                           failed=float(s["failed"]))
+            return out
+        return measure
+
+    samples = bstats.interleaved_measure(
+        {"hedged": case(base), "unhedged": case(base.with_(hedge=False))},
+        plan)
+    return bstats.summarize_metrics(
+        samples,
+        {"wall_s": bstats.WALL_S, "p99_s": bstats.SIM_S,
+         "completed": bstats.COUNT_INFO, "failed": bstats.COUNT_BAD},
+        ci_seed=plan.seed)
+
+
 def run_chaos_serve(output: Optional[str] = "BENCH_chaos_serve.json",
                     smoke: bool = False,
-                    verbose: bool = True) -> Dict:
-    """Run the chaos-serve gates and write the artifact."""
+                    verbose: bool = True,
+                    runs: Optional[int] = None) -> Dict:
+    """Run the chaos-serve gates and write the artifact.
+
+    *runs* (or ``REPRO_BENCH_RUNS``) sets the measured-phase
+    repetitions recorded in the ``stats`` block; the gates run once.
+    """
+    run_plan = bstats.RunPlan.from_env(runs=runs)
     base = CHAOS_BASE
     if smoke:
         base = base.with_(num_requests=SMOKE_REQUESTS)
@@ -145,6 +181,11 @@ def run_chaos_serve(output: Optional[str] = "BENCH_chaos_serve.json",
             "golden_unchanged": golden_ok,
         },
         "golden": golden_detail,
+        "stats": bstats.build_stats_block(
+            _measured_phase(base, run_plan), run_plan,
+            config={"bench": "chaos_serve",
+                    "mode": "smoke" if smoke else "full",
+                    "scenario_base": base.to_dict()}),
     }
     if verbose:
         for backend, p in points.items():
@@ -166,8 +207,7 @@ def run_chaos_serve(output: Optional[str] = "BENCH_chaos_serve.json",
               f"determinism={'ok' if deterministic else 'FAIL'} "
               f"golden={'ok' if golden_ok else 'FAIL'}")
     if output:
-        with open(output, "w") as fh:
-            json.dump(artifact, fh, indent=2, default=str)
+        save_artifact(artifact, output)
         if verbose:
             print(f"wrote {output}")
     return artifact

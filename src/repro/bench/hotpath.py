@@ -16,14 +16,14 @@ oracles for the behaviour-equivalence property tests.
 
 from __future__ import annotations
 
-import gc
-import json
 import platform
-import time
 from collections import OrderedDict
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.bench import stats as bstats
+from repro.bench.results_io import save_artifact
 
 from repro.core.feature_buffer import FeatureBuffer
 from repro.memory import HostMemory
@@ -203,33 +203,30 @@ def _batch_trace(rng, num_batches: int, batch_nodes: int, num_nodes: int,
     return batches
 
 
-def _time(fn: Callable[[], object], repeats: int = 3) -> Dict:
-    """Repeated wall-clock samples with the cyclic GC quiesced: collect
-    the other side's garbage first, then keep the collector out of the
-    measurement (standard timeit hygiene) so benches don't pay for each
-    other's allocation history.
+#: Plan used by every timing in this module until a caller overrides it
+#: (``run_hotpath(runs=...)`` / ``REPRO_BENCH_RUNS``).
+_PLAN: bstats.RunPlan = bstats.RunPlan.from_env()
 
-    Returns ``{"best", "runs", "mean_s", "stddev_s"}``; ratios are
-    taken over *best* (least-noise estimator), the spread is reported so
-    artifacts carry their own error bars.
+
+def _time(fn: Callable[[], object],
+          plan: Optional[bstats.RunPlan] = None) -> Dict:
+    """Repeated wall-clock samples through the shared executor
+    (:func:`repro.bench.stats.repeated_samples`): warmup passes are
+    discarded and the cyclic GC is quiesced around each sample so
+    benches don't pay for each other's allocation history.
+
+    Returns ``{"best", "runs", "mean_s", "stddev_s", "samples"}``;
+    ratios are taken over *best* (least-noise estimator), the spread
+    and raw samples are reported so artifacts carry their own error
+    bars.
     """
-    samples = []
-    for _ in range(repeats):
-        gc.collect()
-        gc.disable()
-        try:
-            # sim-lint: disable=DET101 -- hotpath benches real wall time
-            t0 = time.perf_counter()
-            fn()
-            # sim-lint: disable=DET101 -- hotpath benches real wall time
-            samples.append(time.perf_counter() - t0)
-        finally:
-            gc.enable()
+    samples = bstats.repeated_samples(fn, plan or _PLAN)
     return {
         "best": min(samples),
         "runs": len(samples),
         "mean_s": float(np.mean(samples)),
         "stddev_s": float(np.std(samples)),
+        "samples": [float(s) for s in samples],
     }
 
 
@@ -450,7 +447,8 @@ def bench_sqe_batches(num_records: int = 200_000, record_nbytes: int = 768,
 
 
 # ----------------------------------------------------------------------
-def _result(name: str, n_ops: int, t_ref: Dict, t_vec: Dict) -> Dict:
+def _result(name: str, n_ops: int, t_ref: Dict, t_vec: Dict,
+            targets=SPEEDUP_TARGETS) -> Dict:
     ref, vec = t_ref["best"], t_vec["best"]
     return {
         "name": name,
@@ -462,11 +460,37 @@ def _result(name: str, n_ops: int, t_ref: Dict, t_vec: Dict) -> Dict:
         "reference_stddev_s": t_ref["stddev_s"],
         "vectorized_mean_s": t_vec["mean_s"],
         "vectorized_stddev_s": t_vec["stddev_s"],
+        "reference_samples": t_ref.get("samples", []),
+        "vectorized_samples": t_vec.get("samples", []),
         "reference_ns_per_op": 1e9 * ref / n_ops,
         "vectorized_ns_per_op": 1e9 * vec / n_ops,
         "speedup": ref / vec,
-        "target_speedup": SPEEDUP_TARGETS.get(name),
+        "target_speedup": targets.get(name),
     }
+
+
+#: Shared suffix -> spec mapping for the timing metrics both engine
+#: bench modules emit.
+TIMING_SPECS = {
+    "reference_s": bstats.WALL_S,
+    "vectorized_s": bstats.WALL_S,
+    "speedup": bstats.RATIO_UP,
+}
+
+
+def timing_metric_samples(results) -> Dict[str, List[float]]:
+    """Per-metric samples from a list of :func:`_result` dicts: the raw
+    reference/vectorized wall samples plus run-paired speedups."""
+    samples: Dict[str, List[float]] = {}
+    for r in results:
+        ref, vec = r["reference_samples"], r["vectorized_samples"]
+        if not ref or not vec:
+            continue
+        samples[f"{r['name']}.reference_s"] = list(ref)
+        samples[f"{r['name']}.vectorized_s"] = list(vec)
+        samples[f"{r['name']}.speedup"] = [a / b
+                                           for a, b in zip(ref, vec)]
+    return samples
 
 
 ALL_BENCHES = (
@@ -479,17 +503,31 @@ ALL_BENCHES = (
 
 
 def run_hotpath(output: str = "BENCH_hotpath.json",
-                verbose: bool = True) -> Dict:
-    """Run every hot-path microbenchmark; write the JSON artifact."""
-    results = []
-    for bench in ALL_BENCHES:
-        r = bench()
-        results.append(r)
-        if verbose:
-            print(f"{r['name']:32s} {r['n_ops']:>9d} ops | "
-                  f"ref {r['reference_ns_per_op']:8.1f} ns/op | "
-                  f"vec {r['vectorized_ns_per_op']:8.1f} ns/op | "
-                  f"{r['speedup']:6.1f}x")
+                verbose: bool = True,
+                runs: Optional[int] = None) -> Dict:
+    """Run every hot-path microbenchmark; write the JSON artifact.
+
+    *runs* (or ``REPRO_BENCH_RUNS``) sets the recorded repetitions of
+    every timing; the artifact's ``stats`` block carries the per-metric
+    summaries and the environment fingerprint.
+    """
+    global _PLAN
+    plan = bstats.RunPlan.from_env(runs=runs)
+    prev_plan, _PLAN = _PLAN, plan
+    try:
+        results = []
+        for bench in ALL_BENCHES:
+            r = bench()
+            results.append(r)
+            if verbose:
+                print(f"{r['name']:32s} {r['n_ops']:>9d} ops | "
+                      f"ref {r['reference_ns_per_op']:8.1f} ns/op | "
+                      f"vec {r['vectorized_ns_per_op']:8.1f} ns/op | "
+                      f"{r['speedup']:6.1f}x")
+    finally:
+        _PLAN = prev_plan
+    metrics = bstats.summarize_metrics(
+        timing_metric_samples(results), TIMING_SPECS, ci_seed=plan.seed)
     artifact = {
         "artifact": "hotpath-microbenchmarks",
         "generated_by": "python -m repro.bench hotpath",
@@ -500,11 +538,12 @@ def run_hotpath(output: str = "BENCH_hotpath.json",
         "targets_met": all(
             r["speedup"] >= SPEEDUP_TARGETS[r["name"]]
             for r in results if r["name"] in SPEEDUP_TARGETS),
+        "stats": bstats.build_stats_block(
+            metrics, plan, config={"bench": "hotpath",
+                                   "targets": SPEEDUP_TARGETS}),
     }
     if output:
-        with open(output, "w") as f:
-            json.dump(artifact, f, indent=1)
-            f.write("\n")
+        save_artifact(artifact, output)
         if verbose:
             print(f"\nartifact written to {output}")
     return artifact

@@ -26,12 +26,11 @@ overhead sample, single timing run.  Exit non-zero on any gate failure.
 
 from __future__ import annotations
 
-import json
-import math
-import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
+from repro.bench import stats as bstats
+from repro.bench.results_io import save_artifact
 from repro.bench.runner import EXTRA_SYSTEMS, SYSTEM_NAMES, get_dataset, \
     run_system
 from repro.oracle.scenario import DEFAULT_MATRIX, Scenario, ScenarioRunner
@@ -128,31 +127,37 @@ def _serve_layer(verbose: bool) -> Dict:
     return {"runs": [entry], "ok": entry["ok"]}
 
 
-def _overhead_layer(scenario: Scenario, runs: int, verbose: bool) -> Dict:
-    """Wall-clock ratio of armed vs. disarmed runs (recorded, not gated)."""
+def _overhead_layer(scenario: Scenario, plan: bstats.RunPlan,
+                    verbose: bool) -> Dict:
+    """Wall-clock ratio of armed vs. disarmed runs (recorded, not
+    gated), timed through the repeated-run executor so the armed and
+    disarmed cases interleave in the seeded order instead of running
+    as two back-to-back blocks."""
     dataset = get_dataset(scenario.dataset, scale=scenario.dataset_scale,
                           seed=scenario.seed)
 
-    def _time(races: bool) -> list:
-        samples = []
-        for _ in range(runs):
+    def case(races: bool):
+        def measure(_rep: int) -> Dict[str, float]:
             spec = scenario.machine_spec(races=races)
-            # sim-lint: disable=DET101 -- overhead benches real wall time
-            t0 = time.perf_counter()
-            run_system("gnndrive-gpu", dataset, scenario.train_config(),
-                       epochs=scenario.epochs, warmup_epochs=0,
-                       machine_spec=spec)
-            # sim-lint: disable=DET101 -- overhead benches real wall time
-            samples.append(time.perf_counter() - t0)
-        return samples
+            _, dt = bstats.timed_call(lambda: run_system(
+                "gnndrive-gpu", dataset, scenario.train_config(),
+                epochs=scenario.epochs, warmup_epochs=0,
+                machine_spec=spec))
+            return {"wall_s": dt}
+        return measure
 
-    base = _time(False)
-    armed = _time(True)
+    samples = bstats.interleaved_measure(
+        {"baseline": case(False), "sanitized": case(True)}, plan)
+    base = samples["baseline.wall_s"]
+    armed = samples["sanitized.wall_s"]
 
     def _stats(xs):
-        mean = sum(xs) / len(xs)
-        var = sum((x - mean) ** 2 for x in xs) / len(xs)
-        return {"runs": len(xs), "mean_s": mean, "stddev_s": math.sqrt(var)}
+        summary = bstats.summarize(xs, bstats.WALL_S, ci_seed=plan.seed)
+        return {"runs": summary["n"], "mean_s": summary["mean"],
+                "stddev_s": summary["stddev"],
+                "ci_low_s": summary["ci_low"],
+                "ci_high_s": summary["ci_high"],
+                "samples_s": list(xs)}
 
     layer = {
         "scenario": scenario.name,
@@ -165,32 +170,62 @@ def _overhead_layer(scenario: Scenario, runs: int, verbose: bool) -> Dict:
         print(f"overhead {scenario.name} gnndrive-gpu: "
               f"{layer['overhead_ratio']:.2f}x "
               f"({layer['baseline']['mean_s']:.3f}s -> "
-              f"{layer['sanitized']['mean_s']:.3f}s, {runs} run(s))")
+              f"{layer['sanitized']['mean_s']:.3f}s, {len(base)} run(s))")
     return layer
+
+
+def _overhead_metrics(samples_base, samples_armed,
+                      plan: bstats.RunPlan) -> Dict[str, Dict]:
+    """Summaries for the stats block, pairing armed/disarmed samples
+    run-for-run into per-run overhead ratios."""
+    ratios = [a / b for a, b in zip(samples_armed, samples_base)]
+    return bstats.summarize_metrics(
+        {"baseline_wall_s": list(samples_base),
+         "sanitized_wall_s": list(samples_armed),
+         "overhead_ratio": ratios},
+        {"baseline_wall_s": bstats.WALL_S,
+         "sanitized_wall_s": bstats.WALL_S,
+         "overhead_ratio": bstats.RATIO_DOWN},
+        ci_seed=plan.seed)
 
 
 def run_races(matrix: Sequence[Scenario] = DEFAULT_MATRIX,
               check: bool = False,
-              overhead_runs: int = 3,
+              overhead_runs: Optional[int] = None,
               output: Optional[str] = "BENCH_races.json",
               verbose: bool = True) -> Dict:
-    """Run the three layers and write the JSON artifact."""
+    """Run the three layers and write the JSON artifact.
+
+    *overhead_runs* (or ``REPRO_BENCH_RUNS``; default 5) sets the
+    overhead-layer timing repetitions; ``--check`` drops to a single
+    run for CI.
+    """
     if check:
         matrix = matrix[:1]
-        overhead_runs = 1
+        overhead_runs, warmup = 1, 0
+    else:
+        warmup = None
+    plan = bstats.RunPlan.from_env(runs=overhead_runs, warmup=warmup)
     artifact: Dict = {"check": check}
     artifact["static"] = _static_layer(verbose)
     artifact["dynamic"] = _dynamic_layer(matrix, verbose)
     artifact["serve"] = _serve_layer(verbose)
-    artifact["overhead"] = _overhead_layer(matrix[0], overhead_runs, verbose)
+    overhead = _overhead_layer(matrix[0], plan, verbose)
+    artifact["overhead"] = overhead
+    metrics = _overhead_metrics(overhead["baseline"]["samples_s"],
+                                overhead["sanitized"]["samples_s"], plan)
+    artifact["stats"] = bstats.build_stats_block(
+        metrics, plan,
+        config={"bench": "races", "check": check,
+                "scenario": matrix[0].name,
+                "systems": list(ALL_SYSTEMS) + ["serve"]})
     artifact["ok"] = (artifact["static"]["ok"]
                       and artifact["dynamic"]["ok"]
                       and artifact["serve"]["ok"])
     if verbose:
         print("races bench:", "ok" if artifact["ok"] else "VIOLATIONS")
     if output:
-        with open(output, "w") as fh:
-            json.dump(artifact, fh, indent=2, default=str)
+        save_artifact(artifact, output)
         if verbose:
             print(f"wrote {output}")
     return artifact

@@ -1,16 +1,24 @@
-"""Persist experiment results as JSON artifacts.
+"""Persist experiment results and bench artifacts as JSON.
 
 ``ExperimentResult.data`` holds heterogeneous values (floats, status
 strings, numpy scalars/arrays, dataclasses, tuple keys); this module
 flattens everything into plain JSON so reproduced figures can be
 archived, diffed across runs, and post-processed without re-running.
+
+It is also the single write/read path for the enriched ``BENCH_*.json``
+artifacts: every bench entry point saves through :func:`save_artifact`
+(which routes all values through the same NaN/inf/numpy traps as the
+experiment path) and ``python -m repro.bench compare`` reads through
+:func:`load_artifact`, which restores tagged ``"nan"`` / ``"inf"``
+strings inside ``stats.metrics`` back to floats.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any
+import math
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -70,3 +78,77 @@ def load_result(path: str) -> dict:
         if field not in doc:
             raise ValueError(f"not an experiment artifact: missing {field!r}")
     return doc
+
+
+# ----------------------------------------------------------------------
+# Enriched bench artifacts (the ``stats`` block)
+# ----------------------------------------------------------------------
+
+#: Numeric fields of a ``stats.metrics`` entry that may round-trip
+#: through the tagged-string NaN/inf representation.
+_METRIC_NUMERIC_FIELDS = ("mean", "stddev", "min", "max", "p50", "p90",
+                          "ci_low", "ci_high", "ci_confidence")
+
+
+def save_artifact(doc: dict, path: str) -> None:
+    """Write a bench artifact; all values go through :func:`_jsonable`
+    (NaN/inf become tagged strings, numpy scalars become plain ints and
+    floats) so every bench shares one artifact dialect."""
+    with open(path, "w") as f:
+        json.dump(_jsonable(doc), f, indent=1)
+        f.write("\n")
+
+
+def _restore_num(value: Any) -> Any:
+    """Undo the tagged-string NaN/inf encoding for one numeric field."""
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return value
+    return value
+
+
+def load_artifact(path: str) -> dict:
+    """Read a bench artifact back, restoring numeric metric fields.
+
+    Works on both enriched artifacts (the ``stats`` block's metric
+    entries get their ``"nan"`` / ``"inf"`` strings converted back to
+    floats) and pre-stats single-shot artifacts (returned as-is for the
+    legacy adapters in :mod:`repro.bench.stats`).
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"not a bench artifact: {path!r} does not hold "
+                         "a JSON object")
+    stats = doc.get("stats")
+    if isinstance(stats, dict) and isinstance(stats.get("metrics"), dict):
+        for metric in stats["metrics"].values():
+            if not isinstance(metric, dict):
+                continue
+            for field in _METRIC_NUMERIC_FIELDS:
+                if field in metric:
+                    metric[field] = _restore_num(metric[field])
+            if isinstance(metric.get("samples"), list):
+                metric["samples"] = [_restore_num(s)
+                                     for s in metric["samples"]]
+    return doc
+
+
+def has_stats(doc: dict) -> bool:
+    """Whether *doc* carries the enriched ``stats`` block."""
+    stats = doc.get("stats")
+    return isinstance(stats, dict) and isinstance(stats.get("metrics"),
+                                                  dict)
+
+
+def stats_metrics(doc: dict) -> Optional[Dict[str, dict]]:
+    """The ``stats.metrics`` mapping, or None for legacy artifacts."""
+    return doc["stats"]["metrics"] if has_stats(doc) else None
+
+
+def metric_is_finite(metric: dict) -> bool:
+    """Whether a loaded metric's mean is a finite number."""
+    mean = metric.get("mean")
+    return isinstance(mean, (int, float)) and math.isfinite(mean)

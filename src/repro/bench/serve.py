@@ -25,10 +25,11 @@ CI.
 
 from __future__ import annotations
 
-import json
 import math
 from typing import Dict, Optional, Sequence
 
+from repro.bench import stats as bstats
+from repro.bench.results_io import save_artifact
 from repro.serve.scenario import ServeScenario, run_serve_scenario
 
 #: Contended full-bench base: the feature working set overflows the
@@ -108,11 +109,49 @@ def saturation_rate(points: Sequence[Dict]) -> float:
     return max(met) if met else 0.0
 
 
+def _measured_phase(base: ServeScenario, rate: float,
+                    plan: bstats.RunPlan) -> Dict[str, Dict]:
+    """Repeated single-point runs per backend at the lowest sweep rate,
+    interleaved in the seeded executor order.  The simulated latency /
+    throughput figures are deterministic per scenario; wall time is the
+    real measurement."""
+
+    def case(backend: str):
+        def measure(_rep: int) -> Dict[str, float]:
+            point, dt = bstats.timed_call(
+                lambda: _sweep_point(base, backend, rate))
+            out = {"wall_s": dt}
+            s = point.get("stats")
+            if s is not None:
+                out.update(p50_s=s["latency_p50"], p99_s=s["latency_p99"],
+                           throughput=s["throughput"],
+                           shed=float(s["shed"]),
+                           timed_out=float(s["timed_out"]))
+            return out
+        return measure
+
+    samples = bstats.interleaved_measure(
+        {backend: case(backend) for backend in ("async", "sync")}, plan)
+    return bstats.summarize_metrics(
+        samples,
+        {"wall_s": bstats.WALL_S, "p50_s": bstats.SIM_S,
+         "p99_s": bstats.SIM_S, "throughput": bstats.SIM_RATE,
+         "shed": bstats.COUNT_BAD, "timed_out": bstats.COUNT_BAD},
+        ci_seed=plan.seed)
+
+
 def run_serve_bench(output: Optional[str] = "BENCH_serve.json",
                     smoke: bool = False,
                     rates: Optional[Sequence[float]] = None,
-                    verbose: bool = True) -> Dict:
-    """Run the sweep and write the artifact; see module docs."""
+                    verbose: bool = True,
+                    runs: Optional[int] = None) -> Dict:
+    """Run the sweep and write the artifact; see module docs.
+
+    *runs* (or ``REPRO_BENCH_RUNS``) sets the measured-phase
+    repetitions recorded in the ``stats`` block; the sweep itself runs
+    each point once.
+    """
+    plan = bstats.RunPlan.from_env(runs=runs)
     base = SMOKE_BASE if smoke else FULL_BASE
     rates = tuple(rates) if rates else (SMOKE_RATES if smoke
                                         else FULL_RATES)
@@ -164,6 +203,11 @@ def run_serve_bench(output: Optional[str] = "BENCH_serve.json",
         "accounting_ok": accounting_ok,
         "deterministic": deterministic,
         "sanitizer_clean": clean,
+        "stats": bstats.build_stats_block(
+            _measured_phase(base, rates[0], plan), plan,
+            config={"bench": "serve", "mode": "smoke" if smoke else "full",
+                    "rates": list(rates),
+                    "scenario_base": base.to_dict()}),
     }
     if verbose:
         print(f"saturation: async={async_sat:g}/s sync={sync_sat:g}/s "
@@ -173,8 +217,7 @@ def run_serve_bench(output: Optional[str] = "BENCH_serve.json",
               f"determinism={'ok' if deterministic else 'FAIL'} "
               f"sanitizer={'clean' if clean else 'FINDINGS'}")
     if output:
-        with open(output, "w") as fh:
-            json.dump(artifact, fh, indent=2, default=str)
+        save_artifact(artifact, output)
         if verbose:
             print(f"wrote {output}")
     return artifact

@@ -31,14 +31,16 @@ dispatch gate + digest gates only).
 
 from __future__ import annotations
 
-import json
 import platform
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.sanitizer import SimSanitizer
-from repro.bench.hotpath import _time
+from repro.bench import hotpath as _hotpath
+from repro.bench import stats as bstats
+from repro.bench.hotpath import TIMING_SPECS, _time, timing_metric_samples
+from repro.bench.results_io import save_artifact
 from repro.simcore import Simulator, refengine
 from repro.storage import AsyncRing, FileCatalog, SSDDevice, SSDSpec
 
@@ -58,22 +60,8 @@ _RECORD = 4096
 
 
 def _result(name: str, n_ops: int, t_ref: Dict, t_vec: Dict) -> Dict:
-    ref, vec = t_ref["best"], t_vec["best"]
-    return {
-        "name": name,
-        "n_ops": int(n_ops),
-        "runs": t_ref["runs"],
-        "reference_s": ref,
-        "vectorized_s": vec,
-        "reference_mean_s": t_ref["mean_s"],
-        "reference_stddev_s": t_ref["stddev_s"],
-        "vectorized_mean_s": t_vec["mean_s"],
-        "vectorized_stddev_s": t_vec["stddev_s"],
-        "reference_ns_per_op": 1e9 * ref / n_ops,
-        "vectorized_ns_per_op": 1e9 * vec / n_ops,
-        "speedup": ref / vec,
-        "target_speedup": SPEEDUP_TARGETS.get(name),
-    }
+    return _hotpath._result(name, n_ops, t_ref, t_vec,
+                            targets=SPEEDUP_TARGETS)
 
 
 # ----------------------------------------------------------------------
@@ -354,22 +342,30 @@ ALL_BENCHES = (
 
 
 def run_simcore(output: Optional[str] = "BENCH_simcore.json",
-                check: bool = False, verbose: bool = True) -> Dict:
+                check: bool = False, verbose: bool = True,
+                runs: Optional[int] = None) -> Dict:
     """Run the engine benches plus both digest gates; write the artifact.
 
     ``check=True`` is the CI smoke: small bench sizes, and only the
     dispatch gate (the e2e benches are reported but not gated, so a
-    loaded CI machine can't flake the suite on a 3x margin).
+    loaded CI machine can't flake the suite on a 3x margin).  *runs*
+    (or ``REPRO_BENCH_RUNS``) sets the recorded timing repetitions.
     """
-    if check:
-        results = [bench_event_dispatch(waves=60, cohort=100),
-                   bench_e2e_contended_training(actors=2, batches=6,
-                                                reads=128),
-                   bench_e2e_serve_saturation(rates=(32e3,), requests=512)]
-        gated = {"event_dispatch": SPEEDUP_TARGETS["event_dispatch"] / 2}
-    else:
-        results = [bench() for bench in ALL_BENCHES]
-        gated = SPEEDUP_TARGETS
+    plan = bstats.RunPlan.from_env(runs=runs)
+    prev_plan, _hotpath._PLAN = _hotpath._PLAN, plan
+    try:
+        if check:
+            results = [bench_event_dispatch(waves=60, cohort=100),
+                       bench_e2e_contended_training(actors=2, batches=6,
+                                                    reads=128),
+                       bench_e2e_serve_saturation(rates=(32e3,),
+                                                  requests=512)]
+            gated = {"event_dispatch": SPEEDUP_TARGETS["event_dispatch"] / 2}
+        else:
+            results = [bench() for bench in ALL_BENCHES]
+            gated = SPEEDUP_TARGETS
+    finally:
+        _hotpath._PLAN = prev_plan
     if verbose:
         for r in results:
             print(f"{r['name']:28s} {r['n_ops']:>8d} ops | "
@@ -384,6 +380,8 @@ def run_simcore(output: Optional[str] = "BENCH_simcore.json",
         print(f"golden traces: {golden['systems']} systems, "
               f"bit_identical={golden['bit_identical']}")
     by_name = {r["name"]: r for r in results}
+    metrics = bstats.summarize_metrics(
+        timing_metric_samples(results), TIMING_SPECS, ci_seed=plan.seed)
     artifact = {
         "artifact": "simcore-engine-benchmarks",
         "generated_by": "python -m repro.bench simcore"
@@ -399,11 +397,13 @@ def run_simcore(output: Optional[str] = "BENCH_simcore.json",
             and equivalence["findings"] == 0
             and all(by_name[name]["speedup"] >= floor
                     for name, floor in gated.items())),
+        "stats": bstats.build_stats_block(
+            metrics, plan,
+            config={"bench": "simcore", "check": check,
+                    "targets": SPEEDUP_TARGETS}),
     }
     if output:
-        with open(output, "w") as f:
-            json.dump(artifact, f, indent=1)
-            f.write("\n")
+        save_artifact(artifact, output)
         if verbose:
             print(f"\nartifact written to {output}")
     return artifact

@@ -1,0 +1,104 @@
+"""Golden-report regression tests for the markdown bench reports.
+
+``tests/golden/report-compare.md`` pins the rendered comparison for a
+fixed pair of artifacts (fixed samples, fixed fingerprints), so any
+formatting drift in ``bench/report.py`` — cell layout, significance
+markers, the ± CI rendering — shows up as a readable diff instead of a
+silent change in every future PR's bench comment.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python tests/bench/test_report_golden.py --regen
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.bench import stats as bstats
+from repro.bench.report import (fmt_mean_ci, format_comparison_markdown,
+                                format_stats_markdown, significance_marker)
+
+pytestmark = pytest.mark.benchstat
+
+GOLDEN = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "golden", "report-compare.md")
+
+#: Fixed fingerprint so the golden file is machine-independent.
+_FP = {"python": "3.11.0", "implementation": "CPython", "numpy": "2.0.0",
+       "platform": "Linux-test", "machine": "x86_64", "cpu_count": 8,
+       "config": {"bench": "golden"}, "config_hash": "0123456789abcdef",
+       "commit": "feedfacecafe", "dirty": False}
+
+
+def _doc(samples_by_name):
+    metrics = bstats.summarize_metrics(
+        samples_by_name,
+        {"epoch_time_s": bstats.SIM_S, "speedup": bstats.RATIO_UP,
+         "wall_s": bstats.WALL_S, "dropped": bstats.COUNT_BAD,
+         "steps": bstats.COUNT_INFO}, ci_seed=0)
+    block = {"schema": bstats.STATS_SCHEMA,
+             "run_plan": {"runs": 5, "warmup": 1, "seed": 0},
+             "ci": {"confidence": bstats.CI_CONFIDENCE,
+                    "method": "bootstrap-percentile",
+                    "resamples": bstats.CI_RESAMPLES},
+             "fingerprint": dict(_FP),
+             "metrics": metrics}
+    return {"ok": True, "stats": block}
+
+
+def _report_text() -> str:
+    old = _doc({
+        "sys.epoch_time_s": [2.00, 2.00, 2.00, 2.00, 2.00],
+        "sys.speedup": [6.0, 6.2, 5.8, 6.1, 5.9],
+        "sys.wall_s": [0.50, 0.52, 0.48, 0.51, 0.49],
+        "sys.dropped": [0.0] * 5,
+        "sys.steps": [1200.0] * 5,
+    })
+    new = _doc({
+        "sys.epoch_time_s": [2.60, 2.60, 2.60, 2.60, 2.60],  # regressed
+        "sys.speedup": [7.8, 8.0, 7.6, 7.9, 7.7],            # improved
+        "sys.wall_s": [0.51, 0.53, 0.49, 0.52, 0.50],        # unchanged
+        "sys.dropped": [0.0] * 5,                            # unchanged
+        "sys.steps": [1500.0] * 5,                           # info only
+        "sys.p99_s": [0.01] * 5,                             # added
+    })
+    report = bstats.compare_artifacts(old, new)
+    return "\n".join([
+        format_stats_markdown(new["stats"]), "",
+        format_comparison_markdown(report), "",
+    ])
+
+
+def test_report_matches_golden():
+    with open(GOLDEN) as fh:
+        want = fh.read()
+    assert _report_text() == want, (
+        "markdown report drifted from tests/golden/report-compare.md; "
+        "if intentional, regenerate with "
+        "`PYTHONPATH=src python tests/bench/test_report_golden.py --regen` "
+        "and commit the diff")
+
+
+def test_fmt_mean_ci_shapes():
+    # Symmetric CI -> ± half-width; degenerate -> bare mean;
+    # lopsided -> explicit interval; missing -> bare mean.
+    assert fmt_mean_ci(2.0, 1.9, 2.1) == "2.000 ± 0.10"
+    assert fmt_mean_ci(2.0, 2.0, 2.0) == "2.000"
+    assert fmt_mean_ci(2.0, 1.99, 3.0) == "2.000 [1.990, 3.000]"
+    assert fmt_mean_ci(2.0, float("nan"), float("nan")) == "2.000"
+
+
+def test_significance_markers():
+    assert significance_marker(0.001) == "**"
+    assert significance_marker(0.03) == "*"
+    assert significance_marker(0.5) == "~"
+    assert significance_marker(float("nan")) == "·"
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        with open(GOLDEN, "w") as fh:
+            fh.write(_report_text())
+        print(f"wrote {GOLDEN}")

@@ -1,0 +1,229 @@
+"""Deterministic fixtures + properties for the ``repro.bench.stats``
+kernels.
+
+The Welch / incomplete-beta fixtures below were computed independently
+(scipy ``ttest_ind(equal_var=False)`` / ``special.betainc``) and are
+hard-coded so the suite itself never needs scipy — the kernels under
+test are pure numpy + ``math`` and must stay that way.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import stats as bstats
+
+pytestmark = pytest.mark.benchstat
+
+
+# ----------------------------------------------------------------------
+# Regularized incomplete beta
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("a, b, x, want", [
+    # I_x(1, 1) is the identity.
+    (1.0, 1.0, 0.25, 0.25),
+    (1.0, 1.0, 0.75, 0.75),
+    # Closed forms: I_x(1/2, 1/2) = (2/pi) asin(sqrt(x)).
+    (0.5, 0.5, 0.25, 2.0 / math.pi * math.asin(0.5)),
+    # I_x(2, 3) = 6x^2 - 8x^3 + 3x^4.
+    (2.0, 3.0, 0.5, 0.6875),
+    # Symmetry endpoint values.
+    (3.0, 4.0, 0.0, 0.0),
+    (3.0, 4.0, 1.0, 1.0),
+])
+def test_betainc_fixtures(a, b, x, want):
+    assert bstats.betainc(a, b, x) == pytest.approx(want, abs=1e-10)
+
+
+def test_betainc_symmetry():
+    # I_x(a, b) = 1 - I_{1-x}(b, a), the identity the continued
+    # fraction relies on for convergence.
+    for a, b, x in [(2.0, 5.0, 0.3), (0.5, 3.5, 0.8), (4.0, 4.0, 0.5)]:
+        assert bstats.betainc(a, b, x) == pytest.approx(
+            1.0 - bstats.betainc(b, a, 1.0 - x), abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Welch's t-test
+# ----------------------------------------------------------------------
+#: (a, b, t, df, p) computed with scipy.stats.ttest_ind(equal_var=False).
+WELCH_FIXTURES = [
+    ([2.1, 2.3, 1.9, 2.2, 2.0], [2.8, 3.1, 2.9, 3.0, 3.2],
+     -9.0, 8.0, 1.8531184296430153e-05),
+    ([10.0, 10.5, 9.8, 10.2, 10.1, 9.9], [10.0, 10.6, 9.7, 10.4, 10.3, 9.8],
+     -0.28221626051507326, 8.935619314205729, 0.7842052780311772),
+    ([1.0, 2.0, 3.0, 4.0], [1.5, 2.5, 3.5, 4.5, 5.5],
+     -1.044465935734187, 6.980769230769231, 0.33108326983868364),
+]
+
+
+@pytest.mark.parametrize("a, b, t, df, p", WELCH_FIXTURES)
+def test_welch_fixtures(a, b, t, df, p):
+    res = bstats.welch_t_test(a, b)
+    assert res.t == pytest.approx(t, rel=1e-9)
+    assert res.df == pytest.approx(df, rel=1e-9)
+    assert res.p_value == pytest.approx(p, rel=1e-6)
+
+
+def test_welch_symmetry():
+    a, b = [2.1, 2.3, 1.9, 2.2, 2.0], [2.8, 3.1, 2.9, 3.0, 3.2]
+    fwd, rev = bstats.welch_t_test(a, b), bstats.welch_t_test(b, a)
+    assert fwd.t == pytest.approx(-rev.t)
+    assert fwd.p_value == pytest.approx(rev.p_value)
+
+
+def test_welch_degenerate_sizes():
+    # Fewer than two observations on either side: no variance
+    # estimate, NaN p-value (compare falls back to threshold-only).
+    res = bstats.welch_t_test([1.0], [1.0, 2.0, 3.0])
+    assert math.isnan(res.p_value)
+
+
+def test_welch_zero_variance():
+    # Identical constants: trivially equal (p=1); distinct constants:
+    # trivially different (p=0) — deterministic simulator metrics hit
+    # exactly these two branches.
+    assert bstats.welch_t_test([3.0, 3.0], [3.0, 3.0]).p_value == 1.0
+    assert bstats.welch_t_test([3.0, 3.0], [4.0, 4.0]).p_value == 0.0
+
+
+# ----------------------------------------------------------------------
+# Bootstrap CI
+# ----------------------------------------------------------------------
+def test_bootstrap_fixture():
+    lo, hi = bstats.bootstrap_ci([2.1, 2.3, 1.9, 2.2, 2.0], seed=0)
+    assert lo == pytest.approx(1.98)
+    assert hi == pytest.approx(2.22)
+
+
+def test_bootstrap_deterministic_and_seeded():
+    xs = [1.0, 1.4, 0.9, 1.2, 1.1, 1.3]
+    assert bstats.bootstrap_ci(xs, seed=7) == bstats.bootstrap_ci(xs, seed=7)
+    assert bstats.bootstrap_ci(xs, seed=7) != bstats.bootstrap_ci(xs, seed=8)
+
+
+def test_bootstrap_degenerate():
+    assert bstats.bootstrap_ci([5.0]) == (5.0, 5.0)
+    assert bstats.bootstrap_ci([5.0, 5.0, 5.0]) == (5.0, 5.0)
+    with pytest.raises(ValueError):
+        bstats.bootstrap_ci([])
+
+
+# ----------------------------------------------------------------------
+# Regression classification fixtures
+# ----------------------------------------------------------------------
+def _metric(samples, spec):
+    return bstats.summarize(samples, spec, ci_seed=0)
+
+
+def test_classify_regressed_lower_is_better():
+    old = _metric([1.00, 1.02, 0.98, 1.01, 0.99], bstats.SIM_S)
+    new = _metric([1.50, 1.52, 1.48, 1.51, 1.49], bstats.SIM_S)
+    cmp = bstats.compare_metric("epoch_time_s", old, new)
+    assert cmp.classification == "regressed"
+    assert cmp.significant and cmp.ci_overlap is False
+    assert cmp.delta_pct == pytest.approx(50.0)
+
+
+def test_classify_improved_higher_is_better():
+    old = _metric([2.0, 2.1, 1.9, 2.0, 2.0], bstats.RATIO_UP)
+    new = _metric([4.0, 4.1, 3.9, 4.0, 4.0], bstats.RATIO_UP)
+    cmp = bstats.compare_metric("speedup", old, new)
+    assert cmp.classification == "improved"
+
+
+def test_classify_unchanged_below_threshold():
+    old = _metric([1.00, 1.02, 0.98, 1.01, 0.99], bstats.SIM_S)
+    new = _metric([1.01, 1.03, 0.99, 1.02, 1.00], bstats.SIM_S)
+    cmp = bstats.compare_metric("epoch_time_s", old, new)
+    assert cmp.classification == "unchanged"
+
+
+def test_classify_unchanged_when_not_significant():
+    # A 10% mean shift entirely explained by noise: moved past the
+    # threshold but overlapping CIs + insignificant Welch => unchanged.
+    old = _metric([1.0, 2.0, 0.5, 1.5, 1.0], bstats.SIM_S)
+    new = _metric([1.1, 2.3, 0.4, 1.8, 1.0], bstats.SIM_S)
+    cmp = bstats.compare_metric("epoch_time_s", old, new)
+    assert abs(cmp.delta_pct) >= 5.0
+    assert cmp.classification == "unchanged"
+
+
+def test_classify_info_never_gated():
+    old = _metric([100.0] * 5, bstats.COUNT_INFO)
+    new = _metric([900.0] * 5, bstats.COUNT_INFO)
+    assert bstats.compare_metric("steps", old, new).classification == "info"
+
+
+def test_classify_deterministic_zero_variance_shift():
+    # A deterministic simulated metric that moved: zero variance on
+    # both sides gives p=0 and disjoint degenerate CIs => regressed.
+    old = _metric([2.0] * 5, bstats.SIM_S)
+    new = _metric([3.0] * 5, bstats.SIM_S)
+    cmp = bstats.compare_metric("epoch_time_s", old, new)
+    assert cmp.classification == "regressed"
+    assert cmp.p_value == 0.0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties
+# ----------------------------------------------------------------------
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+sample_lists = st.lists(finite_floats, min_size=2, max_size=12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples=sample_lists, seed=st.integers(0, 2**16))
+def test_property_ci_contains_mean(samples, seed):
+    lo, hi = bstats.bootstrap_ci(samples, seed=seed)
+    mean = float(np.mean(samples))
+    assert lo <= mean + 1e-9 and mean - 1e-9 <= hi
+
+
+@settings(max_examples=50, deadline=None)
+@given(metric_samples=st.dictionaries(
+    st.sampled_from(["epoch_time_s", "speedup", "wall_s", "dropped"]),
+    sample_lists, min_size=1, max_size=4))
+def test_property_compare_self_is_never_classified(metric_samples):
+    specs = {"epoch_time_s": bstats.SIM_S, "speedup": bstats.RATIO_UP,
+             "wall_s": bstats.WALL_S, "dropped": bstats.COUNT_BAD}
+    metrics = {name: bstats.summarize(xs, specs[name], ci_seed=0)
+               for name, xs in metric_samples.items()}
+    doc = {"stats": bstats.build_stats_block(
+        metrics, bstats.RunPlan(runs=len(next(iter(metric_samples.values()))),
+                                warmup=0))}
+    report = bstats.compare_artifacts(doc, doc)
+    assert report.regressions() == []
+    assert report.improvements() == []
+    assert all(c.classification in ("unchanged", "info")
+               for c in report.comparisons)
+
+
+@settings(max_examples=25, deadline=None)
+@given(old=st.lists(sample_lists, min_size=2, max_size=5),
+       new_shift=finite_floats, perm_seed=st.integers(0, 2**16))
+def test_property_classification_order_invariant(old, new_shift, perm_seed):
+    """Permuting the metric insertion order never changes any verdict."""
+    names = [f"m{i}.epoch_time_s" for i in range(len(old))]
+    old_m = {n: bstats.summarize(xs, bstats.SIM_S, ci_seed=0)
+             for n, xs in zip(names, old)}
+    new_m = {n: bstats.summarize([x + new_shift for x in xs],
+                                 bstats.SIM_S, ci_seed=0)
+             for n, xs in zip(names, old)}
+
+    def doc(metrics, order):
+        return {"stats": {"schema": bstats.STATS_SCHEMA,
+                          "metrics": {k: metrics[k] for k in order}}}
+
+    rng = np.random.default_rng(perm_seed)
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    base = bstats.compare_artifacts(doc(old_m, names), doc(new_m, names))
+    perm = bstats.compare_artifacts(doc(old_m, shuffled),
+                                    doc(new_m, shuffled))
+    assert {c.name: c.classification for c in base.comparisons} == \
+        {c.name: c.classification for c in perm.comparisons}

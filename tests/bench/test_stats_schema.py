@@ -1,0 +1,191 @@
+"""The enriched ``stats`` schema survives the artifact round-trip, and
+``compare`` degrades gracefully on pre-stats artifacts.
+
+JSON traps exercised here: NaN / inf metric fields (invalid JSON —
+stored as tagged strings and restored to floats on load), numpy scalars
+leaking in from summaries, and the legacy single-shot ``BENCH_*.json``
+layout that predates the stats block entirely.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import stats as bstats
+from repro.bench.results_io import (has_stats, load_artifact,
+                                    metric_is_finite, save_artifact,
+                                    stats_metrics)
+
+pytestmark = pytest.mark.benchstat
+
+
+def _artifact():
+    metrics = bstats.summarize_metrics(
+        {"a.epoch_time_s": [1.0, 1.1, 0.9, 1.05, 0.95],
+         "a.wall_s": [0.2, 0.22, 0.19, 0.21, 0.2],
+         "a.dropped": [0.0] * 5},
+        {"epoch_time_s": bstats.SIM_S, "wall_s": bstats.WALL_S,
+         "dropped": bstats.COUNT_BAD}, ci_seed=0)
+    return {"ok": True,
+            "stats": bstats.build_stats_block(
+                metrics, bstats.RunPlan(runs=5, warmup=1),
+                config={"bench": "unit", "epochs": 2})}
+
+
+def test_round_trip_preserves_summaries(tmp_path):
+    doc = _artifact()
+    path = str(tmp_path / "BENCH_unit.json")
+    save_artifact(doc, path)
+    loaded = load_artifact(path)
+
+    assert has_stats(loaded)
+    assert loaded["stats"]["schema"] == bstats.STATS_SCHEMA
+    assert loaded["stats"]["run_plan"] == {"runs": 5, "warmup": 1,
+                                           "seed": 0}
+    got = stats_metrics(loaded)["a.epoch_time_s"]
+    want = doc["stats"]["metrics"]["a.epoch_time_s"]
+    for key in ("n", "mean", "stddev", "p50", "p90", "ci_low", "ci_high"):
+        assert got[key] == pytest.approx(want[key])
+    assert got["samples"] == pytest.approx(want["samples"])
+    assert got["kind"] == "simulated" and got["direction"] == "lower"
+
+
+def test_round_trip_fingerprint(tmp_path):
+    doc = _artifact()
+    path = str(tmp_path / "BENCH_unit.json")
+    save_artifact(doc, path)
+    fp = load_artifact(path)["stats"]["fingerprint"]
+    for key in ("python", "numpy", "platform", "machine", "config",
+                "config_hash", "commit"):
+        assert key in fp
+    assert fp["config"]["bench"] == "unit"
+    assert fp["config_hash"] == bstats.config_hash({"bench": "unit",
+                                                    "epochs": 2})
+
+
+def test_round_trip_nan_inf_numpy_traps(tmp_path):
+    """NaN/inf summary fields and numpy scalars must survive the trip
+    as *floats*, not as the tagged strings the JSON layer stores."""
+    doc = _artifact()
+    m = doc["stats"]["metrics"]["a.epoch_time_s"]
+    m["stddev"] = float("nan")
+    m["ci_high"] = float("inf")
+    m["mean"] = np.float64(1.25)
+    m["samples"] = [np.float32(1.0), float("nan"), 2.0]
+    path = str(tmp_path / "BENCH_traps.json")
+    save_artifact(doc, path)
+    got = load_artifact(path)["stats"]["metrics"]["a.epoch_time_s"]
+
+    assert math.isnan(got["stddev"])
+    assert got["ci_high"] == float("inf")
+    assert got["mean"] == pytest.approx(1.25)
+    assert got["samples"][0] == pytest.approx(1.0)
+    assert math.isnan(got["samples"][1])
+    # Finiteness is judged on the mean (NaN spread fields are allowed:
+    # they just mean "no variance information").
+    assert metric_is_finite(got)
+    got["mean"] = float("nan")
+    assert not metric_is_finite(got)
+
+
+def test_reloaded_artifacts_compare_cleanly(tmp_path):
+    """save -> load -> compare(A, A): the tagged-string restoration is
+    good enough for the full statistical path, not just display."""
+    doc = _artifact()
+    path = str(tmp_path / "BENCH_unit.json")
+    save_artifact(doc, path)
+    loaded = load_artifact(path)
+    report = bstats.compare_artifacts(loaded, loaded)
+    assert report.regressions() == []
+    assert report.improvements() == []
+    assert not report.removed and not report.added
+
+
+# ----------------------------------------------------------------------
+# Legacy (pre-stats) artifacts
+# ----------------------------------------------------------------------
+LEGACY_HOTPATH = {
+    "artifact": "hotpath-microbenchmarks",
+    "benches": [
+        {"name": "page_cache_access", "n_ops": 479795,
+         "reference_s": 0.40, "vectorized_s": 0.05, "speedup": 8.0},
+    ],
+    "targets_met": True,
+}
+
+LEGACY_FAULTS = {
+    "completed": True,
+    "systems": [
+        {"system": "gnndrive-gpu", "status": "ok",
+         "ledger": {"injected": 12, "retried": 3, "recovered": 12,
+                    "dropped": 0},
+         "epoch_times": [2.0, 1.8]},
+    ],
+}
+
+
+def test_legacy_artifact_yields_single_shot_metrics():
+    metrics, warnings = bstats.extract_metrics(LEGACY_HOTPATH)
+    assert metrics["page_cache_access.speedup"]["n"] == 1
+    assert metrics["page_cache_access.speedup"]["mean"] == pytest.approx(8.0)
+    assert any("no-variance baseline" in w for w in warnings)
+
+    metrics, _ = bstats.extract_metrics(LEGACY_FAULTS)
+    assert metrics["gnndrive-gpu.injected"]["mean"] == 12
+    assert metrics["gnndrive-gpu.epoch_time_s"]["mean"] == pytest.approx(1.9)
+
+
+def test_legacy_compare_degrades_gracefully(tmp_path):
+    """Old single-shot baseline vs. new enriched artifact: compare runs
+    in threshold-only mode and says so, instead of crashing."""
+    new = {"benches": LEGACY_HOTPATH["benches"],
+           "stats": bstats.build_stats_block(
+               bstats.summarize_metrics(
+                   {"page_cache_access.speedup": [7.9, 8.1, 8.0, 8.2, 7.8]},
+                   {"speedup": bstats.RATIO_UP}),
+               bstats.RunPlan(runs=5))}
+    report = bstats.compare_artifacts(LEGACY_HOTPATH, new)
+    assert any("no-variance baseline" in w for w in report.warnings)
+    (cmp,) = [c for c in report.comparisons
+              if c.name == "page_cache_access.speedup"]
+    assert "no-variance baseline" in " ".join(cmp.notes)
+    assert cmp.classification == "unchanged"
+
+    # A real drop still trips the threshold-only gate.
+    bad = {"benches": [dict(LEGACY_HOTPATH["benches"][0], speedup=2.0)]}
+    report = bstats.compare_artifacts(LEGACY_HOTPATH, bad)
+    (cmp,) = [c for c in report.comparisons
+              if c.name == "page_cache_access.speedup"]
+    assert cmp.classification == "regressed"
+    assert report.regressions(gate_kinds=("ratio",)) == [cmp]
+
+
+def test_unrecognizable_artifact_warns():
+    metrics, warnings = bstats.extract_metrics({"name": "junk"})
+    assert metrics == {}
+    assert any("no stats block" in w for w in warnings)
+
+
+def test_fingerprint_mismatch_warns():
+    a, b = _artifact(), _artifact()
+    b["stats"]["fingerprint"]["config_hash"] = "deadbeef"
+    report = bstats.compare_artifacts(a, b)
+    assert any("fingerprint mismatch: config_hash" in w
+               for w in report.warnings)
+
+
+def test_gate_kinds_excludes_wall_metrics():
+    """A wall-clock regression must not fail a simulated/count gate —
+    the cross-machine CI contract."""
+    old = {"stats": bstats.build_stats_block(
+        bstats.summarize_metrics({"a.wall_s": [1.0, 1.01, 0.99, 1.0, 1.0]},
+                                 {"wall_s": bstats.WALL_S}),
+        bstats.RunPlan(runs=5))}
+    new = {"stats": bstats.build_stats_block(
+        bstats.summarize_metrics({"a.wall_s": [2.0, 2.01, 1.99, 2.0, 2.0]},
+                                 {"wall_s": bstats.WALL_S}),
+        bstats.RunPlan(runs=5))}
+    report = bstats.compare_artifacts(old, new)
+    assert len(report.regressions()) == 1
+    assert report.regressions(gate_kinds=("simulated", "count")) == []
