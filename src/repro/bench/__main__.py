@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.bench oracle [-o BENCH_oracle.json] [--fuzz N] [--regen]
     python -m repro.bench serve [-o BENCH_serve.json] [--smoke]
     python -m repro.bench chaos_serve [-o BENCH_chaos_serve.json] [--smoke]
+    python -m repro.bench cluster [-o BENCH_cluster.json] [--smoke]
     python -m repro.bench races [-o BENCH_races.json] [--check]
     python -m repro.bench compare OLD.json NEW.json \
         [--fail-on-regression] [--threshold PCT] [--alpha A] \
@@ -31,7 +32,12 @@ advantage plus the SLO-accounting invariants (see
 :mod:`repro.bench.serve`); ``chaos_serve`` runs the serving plane under
 the replica-chaos plan and checks lossless accounting, the hedged-p99
 win, determinism, and that the PR 5 serve golden is untouched (see
-:mod:`repro.bench.chaos_serve`); ``races`` runs the static RACE2xx sweep and
+:mod:`repro.bench.chaos_serve`); ``cluster`` runs the sharded serving
+cluster and checks determinism, the hedged-p99 win on Zipf skew, the
+zero-loss brownout floor under ``shard_down`` with replication, and
+that the no-cluster goldens are untouched, plus a million-request
+scale point in full mode (see
+:mod:`repro.bench.cluster`); ``races`` runs the static RACE2xx sweep and
 replays every run path over the oracle matrix under the runtime race
 detector, requiring zero unwaived conflicts, zero deadlock cycles, and
 bit-identical digests with the detector on or off (see
@@ -151,6 +157,18 @@ def main(argv=None) -> int:
                     help="CI sizing: fewer requests, same four gates")
     cs.add_argument("--quiet", action="store_true",
                     help="suppress the per-run lines")
+    cl = sub.add_parser(
+        "cluster",
+        help="sharded serving cluster: determinism, hedged-p99 win, "
+             "zero-loss brownout floor under shard_down, golden-"
+             "unchanged (writes BENCH_cluster.json)")
+    cl.add_argument("-o", "--output", default="BENCH_cluster.json",
+                    help="output JSON path (default: %(default)s)")
+    cl.add_argument("--smoke", action="store_true",
+                    help="CI sizing: fewer requests, no scale point, "
+                         "same four gates")
+    cl.add_argument("--quiet", action="store_true",
+                    help="suppress the per-run lines")
     rc = sub.add_parser(
         "races",
         help="static RACE2xx sweep + runtime race/deadlock detection "
@@ -164,7 +182,7 @@ def main(argv=None) -> int:
                          "(default: REPRO_BENCH_RUNS or 5)")
     rc.add_argument("--quiet", action="store_true",
                     help="suppress the per-run lines")
-    for p in (hp, sc, det, flt, orc, srv, cs):
+    for p in (hp, sc, det, flt, orc, srv, cs, cl):
         _add_runs(p)
     cp = sub.add_parser(
         "compare",
@@ -241,6 +259,12 @@ def main(argv=None) -> int:
         from repro.bench.chaos_serve import run_chaos_serve
         artifact = run_chaos_serve(output=args.output, smoke=args.smoke,
                                    verbose=not args.quiet, runs=args.runs)
+        return 0 if artifact["ok"] else 1
+    if args.command == "cluster":
+        from repro.bench.cluster import run_cluster_bench
+        artifact = run_cluster_bench(output=args.output, smoke=args.smoke,
+                                     verbose=not args.quiet,
+                                     runs=args.runs)
         return 0 if artifact["ok"] else 1
     if args.command == "races":
         from repro.bench.races import run_races

@@ -19,6 +19,10 @@ Commands
 ``serve``
     Online inference serving on the simulated disk stack: run one
     serving scenario and print latency/goodput stats.
+``cluster``
+    The sharded serving cluster: run one cluster scenario (consistent-
+    hash routing, scatter-gather fan-out, hedged reads, shard faults)
+    and print cluster latency/goodput stats.
 ``bench``
     Pass-through to ``python -m repro.bench`` (hotpath, determinism,
     faults, oracle, serve, races).
@@ -264,6 +268,73 @@ def cmd_serve(args) -> int:
     return rc
 
 
+def cmd_cluster(args) -> int:
+    from repro.cluster import ClusterScenario, run_cluster_scenario
+
+    plan = "shard-chaos" if args.shard_chaos else "none"
+    if args.faults is not None and plan != "none":
+        print("cluster: --faults is mutually exclusive with "
+              "--shard-chaos")
+        return 2
+    scenario = ClusterScenario(
+        name="cli-cluster", dataset=args.dataset,
+        dataset_scale=args.scale, host_gb=args.host_gb, kind=args.kind,
+        rate=args.rate, num_requests=args.requests,
+        seeds_per_request=args.seeds_per_request,
+        popularity=args.popularity, zipf_alpha=args.zipf_alpha,
+        rate_shape=args.rate_shape, slo=args.slo,
+        num_shards=args.shards, replication=args.replication,
+        partitions_per_shard=args.partitions_per_shard,
+        partition=args.partition, hops=args.hops, fanout=args.fanout,
+        hedge=not args.no_hedge, hot_fraction=args.hot_fraction,
+        max_batch=args.max_batch, fault_plan=plan,
+        fault_plan_file=args.faults, seed=args.seed)
+    run = run_cluster_scenario(scenario)
+    if not run.ok:
+        print(f"cluster: {run.status} ({run.error})")
+        return 1
+    s = run.stats
+    print(format_table(
+        ["metric", "value"],
+        [["shards", s.num_shards],
+         ["offered", s.offered],
+         ["completed", s.completed],
+         ["shed", s.shed],
+         ["timed out", s.timed_out],
+         ["failed", s.failed],
+         ["SLO misses", s.slo_miss],
+         ["SLO attainment", s.slo_attainment],
+         ["throughput (req/s)", s.throughput],
+         ["goodput (req/s)", s.goodput],
+         ["p50 latency (ms)", s.latency_p50 * 1e3],
+         ["p95 latency (ms)", s.latency_p95 * 1e3],
+         ["p99 latency (ms)", s.latency_p99 * 1e3],
+         ["shard reads", s.reads_total],
+         ["parts served", s.parts_served],
+         ["mean batch size", s.mean_batch_size],
+         ["hot mirrors", s.mirrors],
+         ["mirror wins", s.mirror_wins],
+         ["redirects", s.redirects]],
+        f"{s.num_shards}-shard cluster on {args.dataset} "
+        f"@ {args.rate:g} req/s (SLO {args.slo * 1e3:g} ms, "
+        f"{args.popularity} popularity)"))
+    nonzero = {k: v for k, v in s.faults.items() if v}
+    if nonzero:
+        print("\nfault ledger:")
+        for key, val in nonzero.items():
+            print(f"  {key:<18} {val}")
+    rc = 0
+    for finding in run.findings:
+        print(f"sanitizer finding: {finding}")
+        rc = 1
+    try:
+        s.check_accounting()
+    except ValueError as exc:
+        print(f"accounting violation: {exc}")
+        rc = 1
+    return rc
+
+
 def cmd_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -406,6 +477,65 @@ def build_parser() -> argparse.ArgumentParser:
                         "plane only)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "cluster", help="sharded serving cluster on the disk stack",
+        description="Run one cluster serving scenario (consistent-hash "
+                    "routing over feature-store shards, multi-hop "
+                    "scatter-gather fan-out, hedged hot reads, "
+                    "shard_down/shard_slow faults) and print cluster "
+                    "latency/goodput/SLO stats.  Exits non-zero on "
+                    "sanitizer findings or accounting violations.")
+    p.add_argument("--dataset", default="tiny")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="dataset scale relative to the registry minis")
+    p.add_argument("--host-gb", type=float, default=32,
+                   help="paper-scale host memory (scaled automatically)")
+    p.add_argument("--kind", default="poisson",
+                   choices=["poisson", "trace"],
+                   help="workload kind (default: poisson)")
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="offered load, requests/second (default: 400)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="number of requests (default: 200)")
+    p.add_argument("--seeds-per-request", type=int, default=1)
+    p.add_argument("--popularity", default="zipf",
+                   choices=["uniform", "zipf"],
+                   help="seed popularity shape (default: zipf)")
+    p.add_argument("--zipf-alpha", type=float, default=1.1,
+                   help="zipf skew exponent (default: 1.1)")
+    p.add_argument("--rate-shape", default="flat",
+                   choices=["flat", "diurnal", "flash"],
+                   help="arrival-rate shape (default: flat)")
+    p.add_argument("--slo", type=float, default=0.05,
+                   help="latency SLO in seconds (default: 0.05)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="feature-store shards (default: 4)")
+    p.add_argument("--replication", type=int, default=2,
+                   help="copies per partition (default: 2)")
+    p.add_argument("--partitions-per-shard", type=int, default=16)
+    p.add_argument("--partition", default="hash",
+                   choices=["hash", "degree"],
+                   help="feature-store partitioner (default: hash)")
+    p.add_argument("--hops", type=int, default=2,
+                   help="neighborhood hops per request (default: 2)")
+    p.add_argument("--fanout", type=int, default=4,
+                   help="neighbors per hop (default: 4)")
+    p.add_argument("--hot-fraction", type=float, default=0.02,
+                   help="hottest pool fraction mirrored when hedging "
+                        "(default: 0.02)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="shard micro-batch size cap (default: 32)")
+    p.add_argument("--shard-chaos", action="store_true",
+                   help="run under the built-in shard failure plan "
+                        "(shard_down + shard_slow episodes)")
+    p.add_argument("--faults", metavar="PLAN.json", default=None,
+                   help="run under a FaultPlan loaded from JSON "
+                        "(mutually exclusive with --shard-chaos)")
+    p.add_argument("--no-hedge", action="store_true",
+                   help="disable hedged mirror reads for hot nodes")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser(
         "bench", help="benchmark suites (python -m repro.bench ...)",

@@ -1,0 +1,232 @@
+"""Cluster scenarios: JSON round-trippable cluster configurations.
+
+The cluster analogue of :mod:`repro.serve.scenario`: one frozen record
+pins everything a cluster run depends on — dataset, workload shape,
+cluster plane, fault plan — builds the machine substrate and the
+:class:`repro.cluster.sim.ClusterSim`, and executes under the strict
+sanitizer with full tracing, so cluster runs can be pinned in the
+golden corpus and checked by oracles exactly like serve runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.stats import ClusterStats
+from repro.errors import (OutOfMemoryError, OutOfTimeError,
+                          SimulationError)
+from repro.faults import EMPTY_PLAN, default_shard_chaos_plan
+from repro.machine import DEFAULT_SCALE, Machine, MachineSpec
+from repro.serve.config import WorkloadSpec
+
+_FAULT_PLANS = ("none", "empty", "shard-chaos")
+_POOLS = ("all", "test")
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One point of the cluster configuration space."""
+
+    name: str
+    dataset: str = "tiny"
+    dataset_scale: float = 1.0
+    host_gb: float = 32.0
+    # --- workload shape -------------------------------------------------
+    kind: str = "poisson"
+    rate: float = 400.0
+    num_requests: int = 200
+    seeds_per_request: int = 1
+    popularity: str = "zipf"
+    zipf_alpha: float = 1.1
+    rate_shape: str = "flat"
+    diurnal_period: float = 1.0
+    diurnal_amplitude: float = 0.8
+    flash_start: float = 0.2
+    flash_duration: float = 0.2
+    flash_multiplier: float = 8.0
+    #: Which nodes queries target: the whole graph (``all``) or the
+    #: held-out test split (``test`` — the single-machine serve pool,
+    #: used by the degenerate-equivalence pin).
+    pool: str = "all"
+    slo: float = 0.05
+    # --- cluster plane --------------------------------------------------
+    num_shards: int = 4
+    replication: int = 2
+    vnodes: int = 64
+    partitions_per_shard: int = 16
+    partition: str = "hash"
+    hops: int = 2
+    fanout: int = 4
+    hedge: bool = True
+    hot_fraction: float = 0.02
+    cache_fraction: float = 0.05
+    admit_capacity: int = 4096
+    max_batch: int = 32
+    batch_overhead: float = 2e-4
+    part_cost_base: float = 5e-5
+    node_hit_cost: float = 2e-7
+    node_miss_cost: float = 4e-6
+    brownout_floor: float = 0.7
+    # --- faults ---------------------------------------------------------
+    fault_plan: str = "none"
+    #: Path to a FaultPlan JSON file (``repro cluster --faults``);
+    #: mutually exclusive with a non-"none" ``fault_plan`` preset.
+    fault_plan_file: Optional[str] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.fault_plan not in _FAULT_PLANS:
+            raise ValueError(f"unknown fault plan {self.fault_plan!r}; "
+                             f"known: {_FAULT_PLANS}")
+        if self.fault_plan_file is not None and self.fault_plan != "none":
+            raise ValueError("fault_plan_file and fault_plan are mutually "
+                             "exclusive; pick one")
+        if self.pool not in _POOLS:
+            raise ValueError(f"unknown pool {self.pool!r}; "
+                             f"known: {_POOLS}")
+        if not 0 < self.dataset_scale <= 1.0:
+            raise ValueError("dataset_scale must be in (0, 1]")
+        if not self.host_gb > 0:
+            raise ValueError("host_gb must be positive")
+        if not self.slo > 0:
+            raise ValueError("slo must be positive")
+        # Workload/cluster knobs are validated by the spec constructors.
+        self.workload_spec()
+        self.cluster_config()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: Dict) -> "ClusterScenario":
+        return ClusterScenario(**d)
+
+    def with_(self, **kw) -> "ClusterScenario":
+        return replace(self, **kw)
+
+    # ------------------------------------------------------------------
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(kind=self.kind, rate=self.rate,
+                            num_requests=self.num_requests,
+                            seeds_per_request=self.seeds_per_request,
+                            popularity=self.popularity,
+                            zipf_alpha=self.zipf_alpha,
+                            rate_shape=self.rate_shape,
+                            diurnal_period=self.diurnal_period,
+                            diurnal_amplitude=self.diurnal_amplitude,
+                            flash_start=self.flash_start,
+                            flash_duration=self.flash_duration,
+                            flash_multiplier=self.flash_multiplier,
+                            seed=self.seed)
+
+    def cluster_config(self) -> ClusterConfig:
+        return ClusterConfig(
+            num_shards=self.num_shards,
+            replication=self.replication,
+            vnodes=self.vnodes,
+            partitions_per_shard=self.partitions_per_shard,
+            partition=self.partition,
+            hops=self.hops,
+            fanout=self.fanout,
+            hedge=self.hedge,
+            hot_fraction=self.hot_fraction,
+            cache_fraction=self.cache_fraction,
+            admit_capacity=self.admit_capacity,
+            max_batch=self.max_batch,
+            batch_overhead=self.batch_overhead,
+            part_cost_base=self.part_cost_base,
+            node_hit_cost=self.node_hit_cost,
+            node_miss_cost=self.node_miss_cost,
+            brownout_floor=self.brownout_floor)
+
+    def machine_spec(self, races: bool = False) -> MachineSpec:
+        return MachineSpec.paper_scaled(
+            host_gb=self.host_gb,
+            scale=DEFAULT_SCALE * self.dataset_scale,
+            sanitize=True, sanitize_trace=True, sanitize_races=races,
+            faults=self.resolve_fault_plan())
+
+    def resolve_fault_plan(self):
+        if self.fault_plan_file is not None:
+            from repro.faults import load_plan
+            return load_plan(self.fault_plan_file)
+        if self.fault_plan == "empty":
+            return EMPTY_PLAN
+        if self.fault_plan == "shard-chaos":
+            return default_shard_chaos_plan()
+        return None
+
+
+@dataclass
+class ClusterRun:
+    """One cluster run executed under a scenario."""
+
+    scenario: ClusterScenario
+    status: str                    # 'ok' | 'OOM' | 'OOT'
+    stats: Optional[ClusterStats] = None
+    digest: str = ""
+    trace: Optional[List[Tuple]] = None
+    findings: List[str] = None
+    race_report: Optional[Dict] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_cluster_scenario(scenario: ClusterScenario,
+                         races: bool = False) -> ClusterRun:
+    """Execute *scenario* sanitized with full tracing.
+
+    *races* additionally arms the intra-cohort race detector; the run's
+    trace digest is unchanged either way (the detector only observes).
+    """
+    from repro.bench.runner import get_dataset
+    from repro.cluster.sim import ClusterSim
+
+    dataset = get_dataset(scenario.dataset, scale=scenario.dataset_scale,
+                          seed=scenario.seed)
+    pool = None
+    if scenario.pool == "test":
+        pool = dataset.test_idx
+    machine = Machine(scenario.machine_spec(races=races))
+    try:
+        cluster = ClusterSim(machine, dataset,
+                             config=scenario.cluster_config(),
+                             workload=scenario.workload_spec(),
+                             slo=scenario.slo, pool=pool)
+        stats = cluster.run()
+        stats.check_accounting()
+        status, error = "ok", ""
+    except OutOfMemoryError as exc:
+        stats, status, error = None, "OOM", str(exc)
+    except OutOfTimeError as exc:
+        stats, status, error = None, "OOT", str(exc)
+    san = machine.sanitizer
+    race_report = None
+    if san is not None and san.races is not None:
+        san.races.finalize()
+        race_report = san.races.report_dict()
+    findings = [f.render() for f in san.findings] if san else []
+    if status == "ok" and machine.faults is not None:
+        try:
+            machine.faults.ledger.check_invariants()
+        except SimulationError as exc:
+            findings.append(f"fault-ledger: {exc}")
+    return ClusterRun(
+        scenario=scenario,
+        status=status,
+        stats=stats,
+        digest=san.trace_digest() if san is not None else "",
+        trace=list(san.trace) if san is not None else None,
+        findings=findings,
+        race_report=race_report,
+        error=error)

@@ -18,10 +18,12 @@ from repro.faults.plan import (
     EMPTY_PLAN,
     FAULT_KINDS,
     REPLICA_KINDS,
+    SHARD_KINDS,
     FaultPlan,
     FaultSpec,
     default_chaos_plan,
     default_replica_chaos_plan,
+    default_shard_chaos_plan,
     load_plan,
 )
 from repro.faults.recovery import HedgePolicy, RetryPolicy, alloc_with_retry
@@ -32,6 +34,7 @@ __all__ = [
     "EMPTY_PLAN",
     "FAULT_KINDS",
     "REPLICA_KINDS",
+    "SHARD_KINDS",
     "FaultInjector",
     "FaultLedger",
     "FaultPlan",
@@ -41,5 +44,6 @@ __all__ = [
     "alloc_with_retry",
     "default_chaos_plan",
     "default_replica_chaos_plan",
+    "default_shard_chaos_plan",
     "load_plan",
 ]

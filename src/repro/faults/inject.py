@@ -21,7 +21,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.faults.plan import REPLICA_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import (REPLICA_KINDS, SHARD_KINDS, FaultPlan,
+                               FaultSpec)
 from repro.faults.recovery import RetryPolicy
 from repro.simcore.rand import RandomStreams
 
@@ -40,6 +41,10 @@ class FaultLedger:
         "replica_restarts", "failovers", "orphaned", "orphan_failed",
         "hedges", "hedge_wins", "hedge_discards",
         "ejections", "readmissions", "brownouts",
+        # Shard failure domain (cluster plane): episode + router counters.
+        "injected_shard_down", "injected_shard_slow",
+        "shard_redirects", "shard_unavailable",
+        "hot_mirrors", "mirror_wins",
     )
 
     def __init__(self):
@@ -53,6 +58,8 @@ class FaultLedger:
         self.replica_down_time = 0.0
         #: Simulated seconds the server spent in brownout mode.
         self.brownout_time = 0.0
+        #: Simulated shard-seconds of completed shard_down outages.
+        self.shard_down_time = 0.0
 
     @property
     def injected(self) -> int:
@@ -64,15 +71,22 @@ class FaultLedger:
         """Total injected replica episodes (crash + hang + slow)."""
         return self.injected_crash + self.injected_hang + self.injected_slow
 
+    @property
+    def injected_shard(self) -> int:
+        """Total injected shard episodes (down + slow)."""
+        return self.injected_shard_down + self.injected_shard_slow
+
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {"injected": self.injected,
-                                 "injected_replica": self.injected_replica}
+                                 "injected_replica": self.injected_replica,
+                                 "injected_shard": self.injected_shard}
         for name in self.COUNTERS:
             out[name] = getattr(self, name)
         out["backoff_time"] = self.backoff_time
         out["pressure_time"] = self.pressure_time
         out["replica_down_time"] = self.replica_down_time
         out["brownout_time"] = self.brownout_time
+        out["shard_down_time"] = self.shard_down_time
         return out
 
     def check_invariants(self) -> None:
@@ -114,6 +128,23 @@ class FaultLedger:
                 f"fault ledger out of balance: failovers {self.failovers} "
                 f"+ orphan_failed {self.orphan_failed} exceed orphaned "
                 f"{self.orphaned}")
+        # Shard balance: every mirror win traces to a launched mirror,
+        # and every redirect or unavailability drop to a shard_down
+        # episode (no outages -> the router never moves or drops work).
+        if self.shard_down_time < 0:
+            raise SimulationError("negative fault-ledger time accumulator")
+        if self.mirror_wins > self.hot_mirrors:
+            raise SimulationError(
+                f"fault ledger out of balance: mirror_wins "
+                f"{self.mirror_wins} exceed launched hot_mirrors "
+                f"{self.hot_mirrors}")
+        if (self.shard_redirects or self.shard_unavailable) \
+                and not self.injected_shard_down:
+            raise SimulationError(
+                f"fault ledger out of balance: shard_redirects "
+                f"{self.shard_redirects} / shard_unavailable "
+                f"{self.shard_unavailable} without any injected "
+                f"shard_down episode")
 
 
 class FaultInjector:
@@ -140,6 +171,8 @@ class FaultInjector:
             s for s in plan.specs if s.kind == "mem_pressure"]
         self.replica_specs: List[FaultSpec] = [
             s for s in plan.specs if s.kind in REPLICA_KINDS]
+        self.shard_specs: List[FaultSpec] = [
+            s for s in plan.specs if s.kind in SHARD_KINDS]
 
     # ------------------------------------------------------------------
     def _rng(self, spec: FaultSpec) -> np.random.Generator:
@@ -171,6 +204,19 @@ class FaultInjector:
         if spec.replica >= 0:
             return spec.replica % num_replicas
         return int(self._rng(spec).integers(0, num_replicas))
+
+    def draw_shard(self, spec: FaultSpec, num_shards: int) -> int:
+        """Target shard for an episode of *spec* (cluster plane).
+
+        Mirrors :meth:`draw_replica`: pinned specs return the pinned
+        index modulo the shard count; ``shard == -1`` draws uniformly
+        from the fault's own stream.
+        """
+        if num_shards <= 0:
+            raise SimulationError("draw_shard needs at least one shard")
+        if spec.shard >= 0:
+            return spec.shard % num_shards
+        return int(self._rng(spec).integers(0, num_shards))
 
     # ------------------------------------------------------------------
     def service_multipliers(self, times: np.ndarray,

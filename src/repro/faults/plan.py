@@ -46,6 +46,23 @@ periodic episode with ``probability``; they are consumed by the serving
 resilience plane (:mod:`repro.serve.resilience`), not by the storage
 stack — a training machine ignores them.
 
+``shard_down``
+    A whole cluster shard (one simulated machine of the serving
+    cluster, :mod:`repro.cluster`) goes dark for ``duration``: its
+    queued work and the traffic arriving during the outage are
+    redirected to the consistent-hash ring successors holding the
+    replica copies.  With replication factor 1 the shard's keys are
+    simply unreachable and the affected requests fail.
+``shard_slow``
+    A cluster shard degrades: its batch service times are multiplied
+    by ``factor`` over the window (a brownout-grade slow machine that
+    keeps serving).
+
+The two ``shard_*`` kinds target one shard via ``shard`` (or draw one
+uniformly per episode when ``shard`` is -1); they are consumed by the
+cluster router (:mod:`repro.cluster.sim`) — single-machine serving and
+training ignore them.
+
 Windows: ``start``/``duration`` define one episode; ``period > 0``
 repeats it every period (bounded by ``repeats``; 0 = unbounded).
 """
@@ -64,10 +81,13 @@ from repro.errors import ConfigError
 #: Recognised fault kinds.
 FAULT_KINDS = ("read_error", "tail_latency", "throttle", "ring_error",
                "mem_pressure", "replica_crash", "replica_hang",
-               "replica_slow")
+               "replica_slow", "shard_down", "shard_slow")
 
 #: The replica failure-domain kinds (serving plane).
 REPLICA_KINDS = ("replica_crash", "replica_hang", "replica_slow")
+
+#: The shard failure-domain kinds (cluster plane).
+SHARD_KINDS = ("shard_down", "shard_slow")
 
 #: CQE status codes (negated errno, like the real io_uring ABI).
 EIO = 5
@@ -102,6 +122,9 @@ class FaultSpec:
     #: ``replica_*`` targeting: replica index (-1 = drawn uniformly from
     #: the serving replicas at each episode, from the fault's stream).
     replica: int = -1
+    #: ``shard_*`` targeting: cluster shard index (-1 = drawn uniformly
+    #: from the cluster's shards at each episode, from the fault's stream).
+    shard: int = -1
 
     def __post_init__(self):
         if not self.fault_id or not isinstance(self.fault_id, str):
@@ -184,6 +207,23 @@ class FaultSpec:
                 raise ConfigError(
                     f"fault {self.fault_id!r}: replica_slow needs "
                     f"factor > 1, got {self.factor!r}")
+        if self.shard != -1 and self.kind not in SHARD_KINDS:
+            raise ConfigError(
+                f"fault {self.fault_id!r}: shard targeting applies to "
+                "shard_* faults only")
+        if self.kind in SHARD_KINDS:
+            if self.shard < -1:
+                raise ConfigError(
+                    f"fault {self.fault_id!r}: shard must be >= 0 "
+                    f"(or -1 for a drawn target), got {self.shard!r}")
+            if math.isinf(self.duration):
+                raise ConfigError(
+                    f"fault {self.fault_id!r}: {self.kind} needs a "
+                    "finite duration (the outage/degradation window)")
+            if self.kind == "shard_slow" and self.factor <= 1.0:
+                raise ConfigError(
+                    f"fault {self.fault_id!r}: shard_slow needs "
+                    f"factor > 1, got {self.factor!r}")
 
     # ------------------------------------------------------------------
     def active(self, t: float) -> bool:
@@ -257,6 +297,16 @@ class FaultPlan:
     def has_replica_faults(self) -> bool:
         """True when any spec targets the replica failure domain."""
         return any(s.kind in REPLICA_KINDS for s in self.specs)
+
+    @property
+    def shard_specs(self) -> Tuple[FaultSpec, ...]:
+        """The shard failure-domain specs (cluster plane)."""
+        return tuple(s for s in self.specs if s.kind in SHARD_KINDS)
+
+    @property
+    def has_shard_faults(self) -> bool:
+        """True when any spec targets the shard failure domain."""
+        return any(s.kind in SHARD_KINDS for s in self.specs)
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -367,4 +417,21 @@ def default_replica_chaos_plan(seed: int = 11) -> FaultPlan:
                   start=0.045, duration=0.012, period=0.08),
         FaultSpec("replica-slow", "replica_slow", factor=4.0,
                   start=0.01, duration=0.02, period=0.11),
+    ), seed=seed)
+
+
+def default_shard_chaos_plan(seed: int = 13) -> FaultPlan:
+    """The canned shard-chaos plan used by ``python -m repro.bench cluster``.
+
+    Windows are sized for the cluster bench workloads (thousands of
+    requests at a few thousand req/s span ~0.5-2 simulated seconds), so
+    a run crosses several outage and slow-shard episodes.  The outage
+    targets shard 0 — under the popularity-ranked hash placement that
+    is always a loaded shard, so redirects genuinely move traffic.
+    """
+    return FaultPlan((
+        FaultSpec("shard-outage", "shard_down", shard=0,
+                  start=0.08, duration=0.06, period=0.35),
+        FaultSpec("shard-degraded", "shard_slow", factor=4.0,
+                  start=0.02, duration=0.05, period=0.27),
     ), seed=seed)

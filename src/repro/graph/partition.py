@@ -21,6 +21,68 @@ import numpy as np
 from repro.graph.csc import CSCGraph
 
 
+#: splitmix64 constants (Steele et al.); a strong, dependency-free
+#: 64-bit mixer.  Python's builtin ``hash`` is salted per process, so
+#: every placement decision in the cluster plane goes through this
+#: instead (the DET108 discipline).
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(keys: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over uint64 keys.
+
+    Deterministic across runs and platforms (unlike ``hash``), uniform
+    enough for placement: both :func:`hash_partition` and the cluster's
+    consistent-hash ring build on it.
+    """
+    z = np.asarray(keys).astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z += _SM64_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _SM64_M1
+        z = (z ^ (z >> np.uint64(27))) * _SM64_M2
+        z ^= z >> np.uint64(31)
+    return z
+
+
+def hash_partition(num_nodes: int, num_partitions: int) -> np.ndarray:
+    """Hash placement: partition id per node via splitmix64 mod P.
+
+    Spreads contiguous id ranges (and therefore degree-correlated id
+    order) evenly; the cluster's default feature-store sharding.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    keys = splitmix64(np.arange(num_nodes, dtype=np.uint64))
+    return (keys % np.uint64(num_partitions)).astype(np.int64)
+
+
+def degree_aware_partition(degrees: np.ndarray,
+                           num_partitions: int) -> np.ndarray:
+    """Balance *total degree* across partitions (greedy LPT).
+
+    Nodes are placed heaviest-first onto the currently lightest
+    partition (ties broken by partition index, so the result is
+    deterministic).  High-degree nodes — the ones multi-hop queries
+    fan out over — end up spread across shards instead of clumped
+    wherever the id order put them.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    degrees = np.asarray(degrees, dtype=np.int64)
+    order = np.argsort(-degrees, kind="stable")
+    part = np.zeros(len(degrees), dtype=np.int64)
+    # Load counts each node as its degree plus one, so zero-degree
+    # nodes still spread instead of all landing on partition 0.
+    loads = np.zeros(num_partitions, dtype=np.int64)
+    for node in order:
+        p = int(np.argmin(loads))  # first-minimum: deterministic ties
+        part[node] = p
+        loads[p] += degrees[node] + 1
+    return part
+
+
 def partition_nodes(num_nodes: int, num_partitions: int) -> np.ndarray:
     """Balanced contiguous ranges; returns partition id per node."""
     if num_partitions < 1 or num_partitions > num_nodes:

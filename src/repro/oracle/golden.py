@@ -19,6 +19,7 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.scenario import ClusterScenario, run_cluster_scenario
 from repro.oracle.scenario import Scenario, ScenarioRunner
 from repro.serve.scenario import ServeScenario, run_serve_scenario
 
@@ -38,10 +39,19 @@ GOLDEN_SERVE_SCENARIO = ServeScenario(name="golden-serve", dataset="tiny",
                                       rate=300.0, num_requests=24,
                                       slo=0.05)
 
+#: The pinned cluster scenario (the "cluster" golden entry): a small
+#: sharded run with zipf popularity and shard chaos, so the golden
+#: covers routing, scatter-gather, hedging and shard failover at once.
+GOLDEN_CLUSTER_SCENARIO = ClusterScenario(
+    name="golden-cluster", dataset="tiny", rate=800.0, num_requests=120,
+    num_shards=3, replication=2, partitions_per_shard=8, slo=0.1,
+    popularity="zipf", hot_fraction=0.1, fault_plan="shard-chaos")
+
 #: Systems pinned: the five paper systems, the data-parallel wrapper,
-#: and the serving plane ("serve" replays GOLDEN_SERVE_SCENARIO).
+#: the serving plane ("serve" replays GOLDEN_SERVE_SCENARIO) and the
+#: cluster plane ("cluster" replays GOLDEN_CLUSTER_SCENARIO).
 GOLDEN_SYSTEMS = ("gnndrive-gpu", "gnndrive-cpu", "multigpu", "pyg+",
-                  "ginex", "mariusgnn", "serve")
+                  "ginex", "mariusgnn", "serve", "cluster")
 
 #: multigpu is pinned at two workers so the golden actually covers the
 #: data-parallel path (one worker is the single-GPU system bit-for-bit).
@@ -59,9 +69,11 @@ def _run_all(scenario: Scenario) -> Dict[str, object]:
     runs = {}
     for system in GOLDEN_SYSTEMS:
         if system == "serve":
-            # ServeRun duck-types the SystemRun fields used here
-            # (.ok, .digest, .trace, .error).
+            # ServeRun / ClusterRun duck-type the SystemRun fields used
+            # here (.ok, .digest, .trace, .error).
             runs[system] = run_serve_scenario(GOLDEN_SERVE_SCENARIO)
+        elif system == "cluster":
+            runs[system] = run_cluster_scenario(GOLDEN_CLUSTER_SCENARIO)
         else:
             runs[system] = runner.run(
                 system, num_workers=_NUM_WORKERS.get(system, 1))
@@ -92,6 +104,7 @@ def regen_golden(golden_dir: str = GOLDEN_DIR) -> Dict[str, str]:
     with open(os.path.join(golden_dir, "digests.json"), "w") as f:
         json.dump({"scenario": GOLDEN_SCENARIO.to_dict(),
                    "serve_scenario": GOLDEN_SERVE_SCENARIO.to_dict(),
+                   "cluster_scenario": GOLDEN_CLUSTER_SCENARIO.to_dict(),
                    "digests": digests}, f, indent=2, sort_keys=True)
         f.write("\n")
     return digests

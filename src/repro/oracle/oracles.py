@@ -504,6 +504,54 @@ class ReplicaChaosBounded(Oracle):
         return out
 
 
+class ClusterLoadP99Monotone(Oracle):
+    """Halving offered load never raises the cluster p99.
+
+    The cluster analogue of :class:`ServeLoadP99Monotone`: less offered
+    load means less shard queueing, so tail latency cannot rise.  The
+    probe uses a huge SLO (no deadline drops censoring the tail) and is
+    gated off under chaos — ``shard_down``/``shard_slow`` windows are
+    wall-clock anchored, so a different arrival pattern shifts work
+    into/out of them and legitimately breaks the law.
+    """
+
+    name = "cluster-load-p99-monotone"
+    kind = "metamorphic"
+    description = "cluster p99 non-increasing when offered load halves"
+    RATE = 2000.0
+    NUM_REQUESTS = 200
+    #: Same scheduling-jitter argument as ``ServeLoadP99Monotone``:
+    #: different arrival timestamps reorder shard micro-batches,
+    #: wobbling individual latencies without a real regression.
+    TOLERANCE = 0.05
+
+    def applicable(self, runner: ScenarioRunner) -> bool:
+        return runner.scenario.fault_plan == "none"
+
+    def check(self, runner: ScenarioRunner) -> List[Violation]:
+        from repro.cluster import ClusterScenario, run_cluster_scenario
+        sc = runner.scenario
+        base = ClusterScenario(
+            name=f"{sc.name}-cluster", dataset=sc.dataset,
+            dataset_scale=sc.dataset_scale, host_gb=sc.host_gb,
+            rate=self.RATE, num_requests=self.NUM_REQUESTS,
+            slo=10.0, fault_plan="none", seed=sc.seed)
+        high = run_cluster_scenario(base)
+        low = run_cluster_scenario(base.with_(rate=self.RATE / 2))
+        if not (high.ok and low.ok):
+            return []
+        p_high = high.stats.latency_p99
+        p_low = low.stats.latency_p99
+        if np.isnan(p_high) or np.isnan(p_low):
+            return []
+        if p_low > p_high * (1 + self.TOLERANCE):
+            return [self._violation(
+                runner, f"cluster p99 rose {p_high:.6g}s -> {p_low:.6g}s "
+                        f"when offered load halved ({self.RATE:g} -> "
+                        f"{self.RATE / 2:g} req/s)")]
+        return []
+
+
 class SanitizerClean(Oracle):
     """Every run of the scenario is sanitizer-clean (no findings)."""
 
@@ -536,6 +584,7 @@ ORACLES = (
     EpochPrefixStable(),
     ServeLoadP99Monotone(),
     ReplicaChaosBounded(),
+    ClusterLoadP99Monotone(),
 )
 
 

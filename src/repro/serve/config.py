@@ -13,6 +13,8 @@ from typing import Optional, Tuple
 from repro.errors import ConfigError
 
 _WORKLOAD_KINDS = ("poisson", "trace", "closed")
+_POPULARITIES = ("uniform", "zipf")
+_RATE_SHAPES = ("flat", "diurnal", "flash")
 _BACKENDS = ("async", "sync")
 _RESILIENCE = ("auto", "on", "off")
 
@@ -26,6 +28,21 @@ class WorkloadSpec:
     * ``trace`` — open-loop: explicit ``arrivals`` timestamps.
     * ``closed`` — ``num_clients`` clients, each issuing the next
       request ``think_time`` seconds after its previous one resolves.
+
+    Production traffic shapes layer on top (cluster plane, PR 10):
+
+    * ``popularity`` — how query seeds are drawn from the node pool:
+      ``uniform`` (the PR 5 default, bit-identical draws) or ``zipf``
+      (rank-``zipf_alpha`` skew over a seeded random rank order, so hot
+      nodes exist but are decoupled from node-id order).
+    * ``rate_shape`` — the arrival intensity over time for ``poisson``
+      workloads: ``flat`` (homogeneous, the PR 5 default), ``diurnal``
+      (a sinusoidal day curve: ``rate * (1 + amplitude*sin(2*pi*t/
+      period))``), or ``flash`` (a flash crowd: ``rate`` multiplied by
+      ``flash_multiplier`` inside ``[flash_start, flash_start +
+      flash_duration)``).  Shaped arrivals come from the dedicated
+      ``serve-shaped-arrivals`` stream via time-rescaling, leaving the
+      flat path's draws untouched.
     """
 
     kind: str = "poisson"
@@ -35,6 +52,14 @@ class WorkloadSpec:
     num_clients: int = 4
     think_time: float = 1e-3
     arrivals: Optional[Tuple[float, ...]] = None
+    popularity: str = "uniform"
+    zipf_alpha: float = 1.1
+    rate_shape: str = "flat"
+    diurnal_period: float = 1.0
+    diurnal_amplitude: float = 0.8
+    flash_start: float = 0.2
+    flash_duration: float = 0.2
+    flash_multiplier: float = 8.0
     seed: int = 0
 
     def __post_init__(self):
@@ -64,6 +89,31 @@ class WorkloadSpec:
             if any(b < a for a, b in zip(self.arrivals,
                                          self.arrivals[1:])):
                 raise ConfigError("trace arrivals must be sorted")
+        if self.popularity not in _POPULARITIES:
+            raise ConfigError(f"unknown popularity {self.popularity!r}; "
+                              f"known: {_POPULARITIES}")
+        if self.popularity == "zipf" and not self.zipf_alpha > 0:
+            raise ConfigError("zipf popularity needs zipf_alpha > 0")
+        if self.rate_shape not in _RATE_SHAPES:
+            raise ConfigError(f"unknown rate_shape {self.rate_shape!r}; "
+                              f"known: {_RATE_SHAPES}")
+        if self.rate_shape != "flat":
+            if self.kind != "poisson":
+                raise ConfigError("rate shaping applies to poisson "
+                                  "workloads only")
+            if self.rate_shape == "diurnal":
+                if not self.diurnal_period > 0:
+                    raise ConfigError("diurnal_period must be positive")
+                if not 0.0 <= self.diurnal_amplitude < 1.0:
+                    raise ConfigError(
+                        "diurnal_amplitude must be in [0, 1)")
+            if self.rate_shape == "flash":
+                if self.flash_start < 0:
+                    raise ConfigError("flash_start must be >= 0")
+                if not self.flash_duration > 0:
+                    raise ConfigError("flash_duration must be positive")
+                if not self.flash_multiplier > 1.0:
+                    raise ConfigError("flash_multiplier must be > 1")
 
     def with_(self, **kw) -> "WorkloadSpec":
         return replace(self, **kw)

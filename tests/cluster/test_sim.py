@@ -1,0 +1,99 @@
+"""Cluster simulator end-to-end: accounting, determinism, failover."""
+
+import pytest
+
+from repro.cluster import ClusterScenario, run_cluster_scenario
+
+pytestmark = pytest.mark.cluster
+
+BASE = ClusterScenario(name="t-cluster", dataset="tiny", rate=800.0,
+                       num_requests=150, slo=0.1, seed=7)
+
+
+def _run(scenario):
+    run = run_cluster_scenario(scenario)
+    assert run.ok, run.error
+    assert run.findings == []
+    run.stats.check_accounting()
+    return run
+
+
+def test_accounting_identity_holds():
+    run = _run(BASE)
+    s = run.stats
+    assert s.offered == 150
+    assert s.offered == s.completed + s.shed + s.timed_out + s.failed
+    assert s.reads_done <= s.reads_total
+    assert s.parts_served == sum(s.per_shard_parts)
+
+
+def test_same_seed_same_digest():
+    assert _run(BASE).digest == _run(BASE).digest
+    assert _run(BASE).digest != _run(BASE.with_(seed=8)).digest
+
+
+def test_cluster_knobs_change_the_trace():
+    base = _run(BASE).digest
+    assert _run(BASE.with_(num_shards=6)).digest != base
+    assert _run(BASE.with_(partition="degree")).digest != base
+    assert _run(BASE.with_(hops=1)).digest != base
+
+
+def test_shard_down_with_replication_loses_nothing():
+    """RF >= 2 under the shard-chaos plan: the outage redirects every
+    affected part to a ring successor; no admitted request is lost."""
+    run = _run(BASE.with_(fault_plan="shard-chaos", num_requests=300))
+    s = run.stats
+    assert s.faults.get("injected_shard_down", 0) >= 1
+    assert s.redirects > 0
+    assert s.failed == 0
+    assert s.completed + s.shed + s.timed_out == s.offered
+
+
+def test_shard_down_without_replication_fails_fast():
+    """RF 1: the downed shard's keys are unreachable — the affected
+    requests fail (counted, not lost) instead of hanging."""
+    run = _run(BASE.with_(fault_plan="shard-chaos", num_requests=300,
+                          replication=1, hedge=False))
+    s = run.stats
+    assert s.failed > 0
+    assert s.faults.get("shard_unavailable", 0) == s.failed
+    assert s.redirects == 0
+
+
+def test_chaos_run_is_deterministic():
+    chaos = BASE.with_(fault_plan="shard-chaos", num_requests=300)
+    assert _run(chaos).digest == _run(chaos).digest
+
+
+def test_hedging_launches_mirrors_and_wins_some():
+    run = _run(BASE.with_(hot_fraction=0.1, num_requests=300))
+    s = run.stats
+    assert s.mirrors > 0
+    assert s.mirror_wins <= s.mirrors
+    assert s.faults.get("hot_mirrors", 0) == 0  # no plan -> no ledger
+    off = _run(BASE.with_(hedge=False, num_requests=300)).stats
+    assert off.mirrors == 0
+
+
+def test_degree_partition_balances_load():
+    run = _run(BASE.with_(partition="degree", num_requests=300))
+    parts = run.stats.per_shard_parts
+    assert len(parts) == BASE.num_shards
+    assert sum(parts) == run.stats.parts_served
+
+
+def test_races_clean_under_chaos():
+    run = run_cluster_scenario(
+        BASE.with_(fault_plan="shard-chaos", num_requests=200), races=True)
+    assert run.ok and run.findings == []
+    assert run.race_report is not None
+    assert run.race_report.get("races", []) == []
+
+
+def test_admission_sheds_over_capacity():
+    run = _run(BASE.with_(rate=50_000.0, num_requests=600,
+                          admit_capacity=32, slo=10.0))
+    s = run.stats
+    assert s.shed > 0
+    assert s.offered == s.completed + s.shed + s.timed_out + s.failed
